@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper at full
+experiment scale, prints the rows/series the paper reports (so the output
+is directly comparable to the original), and asserts the qualitative
+findings — who wins, orderings, crossovers.  Absolute timings from
+pytest-benchmark tell you what each experiment costs to reproduce.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "repro: marks a benchmark that regenerates a paper result"
+    )
+
+
+@pytest.fixture(scope="session")
+def print_result():
+    """Print a labeled result block that survives pytest's capture (-s)."""
+
+    def _print(title: str, body: str) -> None:
+        print(f"\n=== {title} ===\n{body}\n")
+
+    return _print

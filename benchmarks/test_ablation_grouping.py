@@ -1,0 +1,34 @@
+"""Benchmark Abl-C: multicast grouping policies (paper §4.2).
+
+Sustained frame rate over the beam-level channel for unicast vs. the
+greedy viewport-similarity grouper vs. the exhaustive-optimal partition.
+The paper's promise: multicast turns the bandwidth headroom from viewport
+overlap into more concurrent users at 30 FPS.
+"""
+
+import pytest
+
+from repro.experiments import run_grouping_ablation
+
+
+@pytest.mark.repro
+def test_ablation_grouping(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_grouping_ablation,
+        kwargs={"user_counts": (2, 4, 6), "num_frames": 24},
+        rounds=1,
+        iterations=1,
+    )
+    print_result("Abl-C: multicast grouping", result.format())
+
+    fps = result.fps
+    for n in (2, 4, 6):
+        # Grouping never hurts...
+        assert fps["greedy"][n] >= fps["unicast"][n] - 1e-9
+        # ...and the greedy heuristic is near-optimal at this scale.
+        assert fps["greedy"][n] >= fps["exhaustive"][n] - 1.5
+
+    # The paper's scaling claim: at 6 users, unicast is far below 30 FPS
+    # while similarity-grouped multicast restores (near-)full rate.
+    assert fps["unicast"][6] < 25.0
+    assert fps["greedy"][6] > fps["unicast"][6] + 5.0

@@ -1,0 +1,28 @@
+"""Benchmark Abl-F: multi-AP coordination with spatial reuse (paper §5).
+
+Two viewing clusters, two wall APs.  The coordinated deployment
+(interference-aware: concurrent spatial reuse where SINR allows, AP-TDMA
+otherwise) must beat a single AP serving the whole room.
+"""
+
+import pytest
+
+from repro.experiments import run_multiap_ablation
+
+
+@pytest.mark.repro
+def test_ablation_multiap(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_multiap_ablation,
+        kwargs={"user_counts": (2, 4, 6, 8), "num_instants": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print_result("Abl-F: multi-AP coordination", result.format())
+
+    for n, (single_ms, multi_ms) in result.rows.items():
+        # Coordination never loses to the single AP.
+        assert multi_ms <= single_ms * 1.05
+    # And delivers a real speedup once the room is loaded.
+    assert result.speedup(6) > 1.15
+    assert result.speedup(8) > 1.15

@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Fig. 2a (pairwise IoU over time, 50 cm cells).
+
+The paper plots two illustrative user pairs over 300 frames: one watching
+"exactly the same content most of the time" (IoU ~ 1 throughout) and one
+whose similarity is "low initially [but] increases to 1 towards the end".
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig2a
+
+
+@pytest.mark.repro
+def test_fig2a(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_fig2a,
+        kwargs={"num_users": 16, "num_frames": 300, "cell_size": 0.5},
+        rounds=1,
+        iterations=1,
+    )
+
+    def sketch(series, width=60):
+        idx = np.linspace(0, len(series) - 1, width).astype(int)
+        return "".join(
+            " .:-=+*#%@"[min(9, int(series[i] * 9.999))] for i in idx
+        )
+
+    body = (
+        f"stable pair {result.stable_pair}: mean IoU "
+        f"{result.stable_mean:.3f}\n  [{sketch(result.stable_iou)}]\n"
+        f"converging pair {result.converging_pair}: "
+        f"{np.mean(result.converging_iou[:60]):.2f} -> "
+        f"{np.mean(result.converging_iou[-60:]):.2f} "
+        f"(gain {result.converging_gain:+.2f})\n"
+        f"  [{sketch(result.converging_iou)}]"
+    )
+    print_result("Fig. 2a (reproduced, IoU 0..1 rendered as ' .:-=+*#%@')", body)
+
+    # Stable pair: same content most of the time.
+    assert result.stable_mean > 0.9
+    assert float(np.median(result.stable_iou)) > 0.95
+
+    # Converging pair: low -> high, ending near 1.
+    early = float(np.mean(result.converging_iou[:60]))
+    late = float(np.mean(result.converging_iou[-60:]))
+    assert late - early > 0.2
+    assert late > 0.75
+
+    # Full 300-frame series, values in [0, 1].
+    for series in (result.stable_iou, result.converging_iou):
+        assert len(series) == 300
+        assert np.all(series >= 0.0) and np.all(series <= 1.0)

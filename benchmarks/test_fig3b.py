@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Fig. 3b (default-codebook multicast coverage).
+
+The paper: an RSS of -68 dBm (enough PHY rate for the 550K quality) is
+available at ~96.5% of positions for a single user, but only ~79% / ~60%
+for 2- / 3-user multicast groups under the default sector codebook.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig3b
+from repro.experiments.fig3b import RSS_TARGET_DBM
+
+
+@pytest.mark.repro
+def test_fig3b(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_fig3b, kwargs={"num_instants": 150}, rounds=1, iterations=1
+    )
+
+    paper = {1: 0.965, 2: 0.79, 3: 0.60}
+    lines = []
+    for k in sorted(result.samples):
+        samples = result.samples[k]
+        lines.append(
+            f"{k} user(s): coverage@{RSS_TARGET_DBM:.0f}dBm = "
+            f"{result.coverage_at(k):.3f} (paper {paper[k]:.3f}), "
+            f"RSS range [{samples.min():.1f}, {samples.max():.1f}] dBm, "
+            f"median {np.median(samples):.1f}"
+        )
+    print_result("Fig. 3b (reproduced)", "\n".join(lines))
+
+    cov = result.summary()
+    # Monotone decrease with group size — the paper's core observation.
+    assert cov[1] > cov[2] > cov[3]
+    # Single users are almost always coverable; 3-user groups are not.
+    assert cov[1] > 0.8
+    assert cov[3] < 0.75
+    # The 1 -> 3 user coverage drop is substantial (paper: 36.5 points).
+    assert cov[1] - cov[3] > 0.2
+
+    # RSS distributions span the measured range (roughly -78..-54 dBm).
+    for samples in result.samples.values():
+        assert samples.max() > -60.0
+        assert samples.min() < -65.0

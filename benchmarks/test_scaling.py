@@ -1,0 +1,37 @@
+"""Benchmark: the headline scaling sweep (how many users at 30 FPS?).
+
+Summarizes the whole paper: vanilla 802.11ac supports one user at high
+quality, 802.11ad three, ViVo five, and viewport-similarity multicast
+pushes past the paper's measured frontier — "the bandwidth reduction can
+either lead to more concurrent users or improve the QoE".
+"""
+
+import pytest
+
+from repro.experiments import run_scaling
+
+
+@pytest.mark.repro
+def test_scaling(benchmark, print_result):
+    result = benchmark.pedantic(
+        run_scaling, kwargs={"num_frames": 24}, rounds=1, iterations=1
+    )
+    print_result("Scaling: max users at ~30 FPS, 550K quality", result.format())
+
+    # The paper's ladder, rung by rung.
+    assert result.max_users("802.11ac vanilla") == 1
+    assert result.max_users("802.11ad vanilla") == 3
+    assert 4 <= result.max_users("802.11ad ViVo") <= 6  # paper: +1-2 users
+    assert result.max_users("802.11ad ViVo+multicast") >= result.max_users(
+        "802.11ad ViVo"
+    ) + 1
+
+    # Monotone orderings everywhere: better systems never do worse.
+    counts = sorted(result.fps["802.11ad vanilla"])
+    for n in counts:
+        assert result.fps["802.11ac ViVo"][n] >= result.fps["802.11ac vanilla"][n]
+        assert result.fps["802.11ad ViVo"][n] >= result.fps["802.11ad vanilla"][n]
+        assert (
+            result.fps["802.11ad ViVo+multicast"][n]
+            >= result.fps["802.11ad ViVo"][n] - 0.5
+        )

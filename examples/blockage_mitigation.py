@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Proactive blockage mitigation: prediction-driven beam switching (§4.1).
+
+Simulates a blockage-prone multi-user session twice — once with reactive
+beam re-search (the radio discovers blockage only when RSS collapses) and
+once with the paper's proactive scheme (the joint viewport predictor warns
+the AP before the blocker arrives).  Also prints the blockage-forecast
+precision/recall that makes the proactive scheme work.
+
+Run:  python examples/blockage_mitigation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    CapacityRateProvider,
+    FixedQualityPolicy,
+    SessionConfig,
+    StreamingSession,
+)
+from repro.experiments import AP_POSITION, CONTENT_CENTER
+from repro.mac import AD_MODEL, RecoveryPolicy, apply_recovery
+from repro.mmwave import compute_blockage_timeline
+from repro.pointcloud import VisibilityConfig, synthesize_video
+from repro.prediction import (
+    BlockageForecaster,
+    JointViewportPredictor,
+    score_forecasts,
+)
+from repro.traces import generate_user_study
+
+NUM_USERS = 6
+
+
+def main() -> None:
+    video = synthesize_video("high", num_frames=120, points_per_frame=4000)
+    study = generate_user_study(
+        num_users=NUM_USERS, duration_s=8.0, content_center=CONTENT_CENTER
+    )
+
+    print("Computing ground-truth human-blockage timeline...")
+    timeline = compute_blockage_timeline(study, AP_POSITION)
+    for u in range(NUM_USERS):
+        frac = timeline.blockage_fraction(u)
+        if frac > 0:
+            print(f"  user {u}: LoS blocked {frac * 100:.1f}% of the session "
+                  f"({len(timeline.events(u))} events)")
+
+    print("\nScoring the multi-user blockage forecaster...")
+    forecaster = BlockageForecaster(
+        ap_position=AP_POSITION,
+        predictor=JointViewportPredictor(),
+        horizon_s=0.5,
+    )
+    forecasts = forecaster.forecast_session(study, stride=3)
+    score = score_forecasts(forecasts, timeline)
+    print(f"  precision {score.precision:.2f}, recall {score.recall:.2f}, "
+          f"F1 {score.f1:.2f}")
+
+    print("\nStreaming under both recovery policies...")
+    results = {}
+    for name, policy in (
+        ("reactive", RecoveryPolicy.reactive()),
+        ("proactive", RecoveryPolicy.proactive_default()),
+    ):
+        rates = CapacityRateProvider(
+            model=AD_MODEL,
+            num_users=NUM_USERS,
+            timeline=apply_recovery(timeline, policy, seed=1),
+        )
+        config = SessionConfig(
+            video=video,
+            study=study,
+            rates=rates,
+            visibility=VisibilityConfig(),
+            grouping="none",
+            adaptation=FixedQualityPolicy("medium"),
+        )
+        report = StreamingSession(config).run()
+        results[name] = report
+        print(f"  {name:9s}: {report.mean_fps:5.1f} FPS, "
+              f"stall {report.total_stall_time_s * 1000:6.0f} ms, "
+              f"QoE {report.mean_score():7.1f}")
+
+    gain = results["proactive"].mean_score() - results["reactive"].mean_score()
+    print(f"\nProactive mitigation QoE gain: {gain:+.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Rate-adaptation lab: compare adaptation policies under a hostile link.
+
+Streams the same blockage-prone 6-user session under four policies —
+fixed-high (no adaptation), throughput-EWMA, buffer-based, and the paper's
+cross-layer scheme (PHY RSS + blockage forecast + app history) — and prints
+the resulting quality/stall/QoE trade-off (ablation Abl-D at example scale).
+
+Run:  python examples/rate_adaptation_lab.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, run_adaptation_ablation
+
+
+def main() -> None:
+    print("Running the adaptation-policy comparison (6 users, 802.11ad,")
+    print("human blockage, reactive beam recovery)...\n")
+    result = run_adaptation_ablation(num_users=6, duration_s=8.0)
+    print(result.format())
+    print()
+    best = max(result.rows, key=lambda k: result.rows[k]["qoe_score"])
+    print(f"Best policy by QoE: {best}")
+    rows = result.rows
+    if rows["cross-layer"]["stall_time_s"] <= rows["fixed-high"]["stall_time_s"]:
+        saved = (
+            rows["fixed-high"]["stall_time_s"]
+            - rows["cross-layer"]["stall_time_s"]
+        )
+        print(f"Cross-layer adaptation removed {saved:.2f} s of stalls "
+              "relative to fixed-high.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for legacy editable installs on offline machines without the
+``wheel`` package (pip falls back to ``setup.py develop`` via
+``--no-use-pep517``).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""repro — multi-user volumetric video streaming over mmWave WLANs.
+
+A reproduction of "Innovating Multi-user Volumetric Video Streaming through
+Cross-layer Design" (HotNets '21): the volumetric content pipeline, 6DoF
+trace models, an 802.11ad/ac link layer with phased-array beams, multicast
+grouping on viewport similarity, multi-lobe beam synthesis, and cross-layer
+rate adaptation — plus experiment runners for every table and figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

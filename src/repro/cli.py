@@ -1,0 +1,187 @@
+"""Command-line entry point: regenerate any paper experiment from a shell.
+
+    python -m repro table1
+    python -m repro fig2a fig2b
+    python -m repro fig3b --instants 200
+    python -m repro ablations
+    python -m repro all
+
+Each command prints the same formatted rows the benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _print_header(title: str) -> None:
+    print(f"\n===== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def _run_table1(args) -> None:
+    from .experiments import run_table1
+
+    _print_header("Table 1 — multi-user FPS, vanilla vs. ViVo")
+    print(run_table1(num_frames=args.frames).format())
+
+
+def _run_fig2a(args) -> None:
+    from .experiments import run_fig2a
+
+    _print_header("Fig. 2a — pairwise IoU over time")
+    result = run_fig2a(num_users=16, num_frames=300)
+    print(f"stable pair {result.stable_pair}: mean IoU {result.stable_mean:.3f}")
+    print(
+        f"converging pair {result.converging_pair}: "
+        f"{np.mean(result.converging_iou[:60]):.2f} -> "
+        f"{np.mean(result.converging_iou[-60:]):.2f}"
+    )
+
+
+def _run_fig2b(args) -> None:
+    from .experiments import FIG2B_CURVES, run_fig2b
+
+    _print_header("Fig. 2b — IoU distributions")
+    result = run_fig2b()
+    for curve in FIG2B_CURVES:
+        samples = result.samples[curve]
+        print(
+            f"{curve:18s} mean {np.mean(samples):.3f} "
+            f"median {np.median(samples):.3f}"
+        )
+
+
+def _run_fig3b(args) -> None:
+    from .experiments import run_fig3b
+
+    _print_header("Fig. 3b — default-codebook multicast coverage")
+    result = run_fig3b(num_instants=args.instants)
+    for k, cov in sorted(result.summary().items()):
+        print(f"{k} user(s): coverage@-68dBm = {cov:.3f}")
+
+
+def _run_fig3d(args) -> None:
+    from .experiments import run_fig3d
+
+    _print_header("Fig. 3d — default vs. custom multicast beams")
+    result = run_fig3d(num_instants=args.instants)
+    print(f"mean improvement  : {result.mean_improvement_db():+.2f} dB")
+    print(f"median improvement: {result.median_improvement_db():+.2f} dB")
+    print(f"custom-beam wins  : {result.win_fraction() * 100:.0f}%")
+
+
+def _run_fig3e(args) -> None:
+    from .experiments import SCHEMES, run_fig3e
+
+    _print_header("Fig. 3e — normalized throughput")
+    result = run_fig3e(num_instants=min(args.instants, 100))
+    for scheme in SCHEMES:
+        print(f"{scheme:20s} {result.mean(scheme):.3f}")
+    print(
+        "default multicast worse than unicast at "
+        f"{result.default_worse_than_unicast_fraction() * 100:.0f}% of instants"
+    )
+
+
+def _run_scaling(args) -> None:
+    from .experiments import run_scaling
+
+    _print_header("Scaling — max users at ~30 FPS (550K quality)")
+    print(run_scaling(num_frames=args.frames).format())
+
+
+def _run_ablations(args) -> None:
+    from .experiments import (
+        run_adaptation_ablation,
+        run_blockage_ablation,
+        run_cellsize_ablation,
+        run_grouping_ablation,
+        run_multiap_ablation,
+        run_prediction_ablation,
+    )
+
+    for title, runner in (
+        ("Abl-A — viewport prediction", run_prediction_ablation),
+        ("Abl-B — blockage mitigation", run_blockage_ablation),
+        ("Abl-C — multicast grouping", run_grouping_ablation),
+        ("Abl-D — rate adaptation", run_adaptation_ablation),
+        ("Abl-E — cell-size sweep", run_cellsize_ablation),
+        ("Abl-F — multi-AP coordination", run_multiap_ablation),
+    ):
+        _print_header(title)
+        print(runner().format())
+
+
+def _run_study(args) -> None:
+    from .experiments import format_table
+    from .traces import Device, generate_user_study
+    from .traces.analytics import study_statistics
+
+    _print_header("Synthetic user-study motion statistics")
+    study = generate_user_study(num_users=args.users, duration_s=10.0)
+    stats = study_statistics(study)
+    headers = ["Device", "users", "speed(m/s)", "spread(m)", "ang(deg/s)",
+               "dist(m)"]
+    rows = [
+        [
+            device.value,
+            int(s["users"]),
+            round(s["mean_speed_mps"], 3),
+            round(s["position_spread_m"], 3),
+            round(s["mean_angular_speed_dps"], 1),
+            round(s["mean_viewing_distance_m"], 2),
+        ]
+        for device, s in stats.items()
+    ]
+    print(format_table(headers, rows, float_fmt="{:.3f}"))
+
+
+COMMANDS = {
+    "table1": _run_table1,
+    "fig2a": _run_fig2a,
+    "fig2b": _run_fig2b,
+    "fig3b": _run_fig3b,
+    "fig3d": _run_fig3d,
+    "fig3e": _run_fig3e,
+    "scaling": _run_scaling,
+    "ablations": _run_ablations,
+    "study": _run_study,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the HotNets '21 paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=[*COMMANDS, "all"],
+        help="which experiment(s) to run",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=45, help="frames per Table 1 cell"
+    )
+    parser.add_argument(
+        "--instants", type=int, default=150, help="sampled instants for Fig 3"
+    )
+    parser.add_argument(
+        "--users", type=int, default=32, help="study size for the study command"
+    )
+    args = parser.parse_args(argv)
+
+    chosen = list(COMMANDS) if "all" in args.experiments else args.experiments
+    t0 = time.time()
+    for name in chosen:
+        COMMANDS[name](args)
+    print(f"\ndone in {time.time() - t0:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

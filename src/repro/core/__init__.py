@@ -1,0 +1,88 @@
+"""Core system: similarity, grouping, adaptation, rates, the session simulator."""
+
+from .adaptation import (
+    AdaptationDecision,
+    AdaptationInputs,
+    AdaptationPolicy,
+    BufferPolicy,
+    CrossLayerPolicy,
+    FixedQualityPolicy,
+    ProactivePrefetchPolicy,
+    ThroughputPolicy,
+    quality_below,
+)
+from .bandwidth import (
+    BufferAwareEstimator,
+    CrossLayerBandwidthPredictor,
+    EwmaThroughputPredictor,
+)
+from .client import BufferedFrame, ClientBuffer
+from .grouping import (
+    GroupingResult,
+    exhaustive_grouping,
+    greedy_similarity_grouping,
+    no_grouping,
+)
+from .mpc import MpcPolicy
+from .multiap import (
+    ApAssignment,
+    MultiApDeployment,
+    assign_groups,
+    concurrent_frame_time,
+    coordinated_frame_time,
+    single_ap_frame_time,
+)
+from .qoe import QoEReport, QoEWeights, UserSessionStats
+from .rates import CapacityRateProvider, ChannelRateProvider, RateProvider
+from .session import SessionConfig, StreamingSession, measure_max_fps
+from .similarity import (
+    VisibilityMaps,
+    compute_visibility_maps,
+    group_iou,
+    group_iou_samples,
+    iou_series,
+    pairwise_iou_samples,
+)
+
+__all__ = [
+    "AdaptationDecision",
+    "AdaptationInputs",
+    "AdaptationPolicy",
+    "BufferPolicy",
+    "CrossLayerPolicy",
+    "FixedQualityPolicy",
+    "ProactivePrefetchPolicy",
+    "ThroughputPolicy",
+    "quality_below",
+    "BufferAwareEstimator",
+    "CrossLayerBandwidthPredictor",
+    "EwmaThroughputPredictor",
+    "BufferedFrame",
+    "ClientBuffer",
+    "GroupingResult",
+    "exhaustive_grouping",
+    "greedy_similarity_grouping",
+    "no_grouping",
+    "MpcPolicy",
+    "ApAssignment",
+    "MultiApDeployment",
+    "assign_groups",
+    "concurrent_frame_time",
+    "coordinated_frame_time",
+    "single_ap_frame_time",
+    "QoEReport",
+    "QoEWeights",
+    "UserSessionStats",
+    "CapacityRateProvider",
+    "ChannelRateProvider",
+    "RateProvider",
+    "SessionConfig",
+    "StreamingSession",
+    "measure_max_fps",
+    "VisibilityMaps",
+    "compute_visibility_maps",
+    "group_iou",
+    "group_iou_samples",
+    "iou_series",
+    "pairwise_iou_samples",
+]

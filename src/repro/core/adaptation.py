@@ -1,0 +1,229 @@
+"""Multi-user video rate adaptation policies (paper §4.3).
+
+Unlike client-side DASH adaptation, the paper's scheme runs *centrally* on
+the AP/edge server, choosing each user's quality with full knowledge of the
+shared medium.  A policy is queried once per adaptation interval per user
+and returns an :class:`AdaptationDecision` — quality level plus cross-layer
+actions (prefetch boost when a blockage is forecast, regroup hint when the
+rate picture changed).
+
+Implemented policies (the rate-adaptation ablation compares them):
+
+* :class:`FixedQualityPolicy` — no adaptation (Table 1 operating mode);
+* :class:`ThroughputPolicy` — pick the top quality under a safety factor of
+  the application-layer EWMA (rate-based DASH);
+* :class:`BufferPolicy` — buffer-threshold ladder (BBA-style);
+* :class:`CrossLayerPolicy` — the paper's: cross-layer bandwidth prediction
+  (PHY RSS + blockage forecast + app history), prefetch ahead of predicted
+  blockages, and regroup hints on rate change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from ..pointcloud import QUALITIES, QUALITY_ORDER
+from .bandwidth import (
+    BufferAwareEstimator,
+    CrossLayerBandwidthPredictor,
+    EwmaThroughputPredictor,
+)
+
+__all__ = [
+    "AdaptationInputs",
+    "AdaptationDecision",
+    "AdaptationPolicy",
+    "FixedQualityPolicy",
+    "ProactivePrefetchPolicy",
+    "ThroughputPolicy",
+    "BufferPolicy",
+    "CrossLayerPolicy",
+    "quality_below",
+]
+
+
+def quality_below(name: str) -> str:
+    """The next lower quality level (clamps at ``"low"``)."""
+    idx = QUALITY_ORDER.index(name)
+    return QUALITY_ORDER[max(0, idx - 1)]
+
+
+@dataclass(frozen=True)
+class AdaptationInputs:
+    """Everything a policy may look at for one user at one decision point."""
+
+    user_id: int
+    buffer_level_s: float
+    observed_throughput_mbps: float
+    current_quality: str
+    rss_dbm: float | None = None
+    blockage_predicted: bool = False
+    visible_fraction: float = 1.0  # ViVo saving: effective bitrate multiplier
+
+
+@dataclass(frozen=True)
+class AdaptationDecision:
+    """Quality choice plus cross-layer side actions."""
+
+    quality: str
+    prefetch_extra_frames: int = 0
+    request_regroup: bool = False
+
+    def __post_init__(self) -> None:
+        if self.quality not in QUALITIES:
+            raise ValueError(f"unknown quality {self.quality!r}")
+        if self.prefetch_extra_frames < 0:
+            raise ValueError("prefetch_extra_frames must be non-negative")
+
+
+@runtime_checkable
+class AdaptationPolicy(Protocol):
+    """Per-user rate adaptation strategy."""
+
+    def decide(self, inputs: AdaptationInputs) -> AdaptationDecision:
+        ...
+
+
+def _effective_bitrate(quality: str, visible_fraction: float) -> float:
+    """Network bitrate a quality actually costs after visibility culling."""
+    return QUALITIES[quality].bitrate_mbps * max(0.05, visible_fraction)
+
+
+def _best_quality_under(budget_mbps: float, visible_fraction: float) -> str:
+    """Highest quality whose effective bitrate fits the budget."""
+    choice = QUALITY_ORDER[0]
+    for name in QUALITY_ORDER:
+        if _effective_bitrate(name, visible_fraction) <= budget_mbps:
+            choice = name
+    return choice
+
+
+@dataclass(frozen=True)
+class FixedQualityPolicy:
+    """Always stream the configured quality."""
+
+    quality: str = "high"
+
+    def __post_init__(self) -> None:
+        if self.quality not in QUALITIES:
+            raise ValueError(f"unknown quality {self.quality!r}")
+
+    def decide(self, inputs: AdaptationInputs) -> AdaptationDecision:
+        return AdaptationDecision(quality=self.quality)
+
+
+@dataclass(frozen=True)
+class ProactivePrefetchPolicy:
+    """Fixed quality plus prefetching ahead of predicted blockages.
+
+    Isolates the paper's §4.1 mechanism — "prefetch the content and
+    schedule the future cells in the current time slot so that when the
+    blockage happens, it has already prefetched some frames" — from
+    quality adaptation, for the blockage-mitigation ablation.
+    """
+
+    quality: str = "high"
+    prefetch_frames: int = 15
+
+    def __post_init__(self) -> None:
+        if self.quality not in QUALITIES:
+            raise ValueError(f"unknown quality {self.quality!r}")
+        if self.prefetch_frames < 0:
+            raise ValueError("prefetch_frames must be non-negative")
+
+    def decide(self, inputs: AdaptationInputs) -> AdaptationDecision:
+        prefetch = self.prefetch_frames if inputs.blockage_predicted else 0
+        return AdaptationDecision(
+            quality=self.quality, prefetch_extra_frames=prefetch
+        )
+
+
+@dataclass
+class ThroughputPolicy:
+    """Rate-based adaptation on the application-layer EWMA."""
+
+    safety: float = 0.85
+    predictors: dict[int, EwmaThroughputPredictor] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.safety <= 1.0:
+            raise ValueError("safety must be in (0, 1]")
+
+    def decide(self, inputs: AdaptationInputs) -> AdaptationDecision:
+        predictor = self.predictors.setdefault(
+            inputs.user_id, EwmaThroughputPredictor()
+        )
+        if inputs.observed_throughput_mbps > 0:
+            predictor.observe(inputs.observed_throughput_mbps)
+        budget = predictor.predict_mbps() * self.safety
+        return AdaptationDecision(
+            quality=_best_quality_under(budget, inputs.visible_fraction)
+        )
+
+
+@dataclass(frozen=True)
+class BufferPolicy:
+    """Buffer-threshold ladder: low buffer -> low quality.
+
+    The reservoir/cushion structure of BBA mapped onto the three paper
+    qualities.
+    """
+
+    reservoir_s: float = 0.5
+    cushion_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.reservoir_s < self.cushion_s:
+            raise ValueError("need 0 < reservoir_s < cushion_s")
+
+    def decide(self, inputs: AdaptationInputs) -> AdaptationDecision:
+        level = inputs.buffer_level_s
+        if level < self.reservoir_s:
+            quality = "low"
+        elif level < self.cushion_s:
+            quality = "medium"
+        else:
+            quality = "high"
+        return AdaptationDecision(quality=quality)
+
+
+@dataclass
+class CrossLayerPolicy:
+    """The paper's cross-layer scheme: PHY + app fusion, proactive actions."""
+
+    safety: float = 0.9
+    prefetch_on_blockage_frames: int = 15  # prefetch 0.5 s ahead of a blockage
+    buffer_guard: BufferAwareEstimator = field(default_factory=BufferAwareEstimator)
+    predictors: dict[int, CrossLayerBandwidthPredictor] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.safety <= 1.0:
+            raise ValueError("safety must be in (0, 1]")
+        if self.prefetch_on_blockage_frames < 0:
+            raise ValueError("prefetch_on_blockage_frames must be non-negative")
+
+    def decide(self, inputs: AdaptationInputs) -> AdaptationDecision:
+        predictor = self.predictors.setdefault(
+            inputs.user_id, CrossLayerBandwidthPredictor()
+        )
+        if inputs.observed_throughput_mbps > 0:
+            predictor.observe_throughput(inputs.observed_throughput_mbps)
+        predicted = predictor.predict_mbps(
+            rss_dbm=inputs.rss_dbm, blockage_predicted=inputs.blockage_predicted
+        )
+        budget = (
+            self.buffer_guard.estimate_mbps(predicted, inputs.buffer_level_s)
+            * self.safety
+        )
+        quality = _best_quality_under(budget, inputs.visible_fraction)
+        prefetch = (
+            self.prefetch_on_blockage_frames if inputs.blockage_predicted else 0
+        )
+        # A predicted blockage changes this user's rate picture enough that
+        # the multicast scheduler should reconsider its grouping.
+        return AdaptationDecision(
+            quality=quality,
+            prefetch_extra_frames=prefetch,
+            request_regroup=inputs.blockage_predicted,
+        )

@@ -1,0 +1,139 @@
+"""Cross-layer bandwidth prediction (paper §4.3).
+
+"How to accurately estimate the link bandwidth ... for unicast and
+multicast transmissions?  ...we aim to utilize a cross-layer solution that
+combines the mmWave channel information (e.g., RSS) with the application
+layer information such as the buffer size of the video player."
+
+Three predictors, used as the policy inputs in the rate-adaptation
+ablation (Abl-D):
+
+* :class:`EwmaThroughputPredictor` — classic application-layer estimator:
+  exponentially weighted average of observed goodput (what DASH players do);
+* :class:`BufferAwareEstimator` — buffer-based correction à la BBA: scale
+  the throughput estimate down when the buffer is draining;
+* :class:`CrossLayerBandwidthPredictor` — the paper's proposal: fuse the
+  PHY-derived rate (RSS -> MCS -> goodput) and a blockage forecast with the
+  application-layer EWMA.  PHY information reacts within one beacon
+  interval, so mmWave rate cliffs (blockage, beam switch) show up in the
+  prediction *before* the application-layer average catches up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mmwave.mcs import app_rate_mbps
+
+__all__ = [
+    "EwmaThroughputPredictor",
+    "BufferAwareEstimator",
+    "CrossLayerBandwidthPredictor",
+]
+
+
+@dataclass
+class EwmaThroughputPredictor:
+    """EWMA over observed application goodput samples."""
+
+    alpha: float = 0.3
+    _estimate_mbps: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+    def observe(self, throughput_mbps: float) -> None:
+        if throughput_mbps < 0:
+            raise ValueError("throughput must be non-negative")
+        if self._estimate_mbps is None:
+            self._estimate_mbps = throughput_mbps
+        else:
+            self._estimate_mbps = (
+                self.alpha * throughput_mbps
+                + (1.0 - self.alpha) * self._estimate_mbps
+            )
+
+    def predict_mbps(self) -> float:
+        """Current estimate (0 before any observation)."""
+        return self._estimate_mbps if self._estimate_mbps is not None else 0.0
+
+
+@dataclass
+class BufferAwareEstimator:
+    """Buffer-level safety scaling on top of a throughput estimate.
+
+    With a comfortable buffer the raw estimate passes through; as the
+    buffer approaches empty the estimate is discounted down to
+    ``min_scale`` — trading throughput for stall protection exactly like
+    buffer-based rate adaptation.
+    """
+
+    target_buffer_s: float = 2.0
+    min_scale: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.target_buffer_s <= 0:
+            raise ValueError("target_buffer_s must be positive")
+        if not 0.0 < self.min_scale <= 1.0:
+            raise ValueError("min_scale must be in (0, 1]")
+
+    def scale(self, buffer_s: float) -> float:
+        if buffer_s < 0:
+            raise ValueError("buffer_s must be non-negative")
+        frac = min(1.0, buffer_s / self.target_buffer_s)
+        return self.min_scale + (1.0 - self.min_scale) * frac
+
+    def estimate_mbps(self, throughput_mbps: float, buffer_s: float) -> float:
+        return throughput_mbps * self.scale(buffer_s)
+
+
+@dataclass
+class CrossLayerBandwidthPredictor:
+    """Fuse PHY-layer rate indicators with the application-layer EWMA.
+
+    ``predict_mbps`` blends the PHY ceiling (goodput implied by the current
+    RSS) with the recent application history; a pending blockage forecast
+    discounts the prediction by the expected reflection-path penalty before
+    the blockage actually happens — the cross-layer edge.
+    """
+
+    ewma: EwmaThroughputPredictor = field(default_factory=EwmaThroughputPredictor)
+    phy_weight: float = 0.6
+    blockage_discount: float = 0.55  # expected rate fraction on reflection
+    streaming_efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.phy_weight <= 1.0:
+            raise ValueError("phy_weight must be in [0, 1]")
+        if not 0.0 < self.blockage_discount <= 1.0:
+            raise ValueError("blockage_discount must be in (0, 1]")
+
+    def observe_throughput(self, throughput_mbps: float) -> None:
+        self.ewma.observe(throughput_mbps)
+
+    def phy_rate_mbps(self, rss_dbm: float) -> float:
+        """Goodput ceiling implied by the current RSS."""
+        return app_rate_mbps(rss_dbm) * self.streaming_efficiency
+
+    def predict_mbps(
+        self,
+        rss_dbm: float | None = None,
+        blockage_predicted: bool = False,
+    ) -> float:
+        app_est = self.ewma.predict_mbps()
+        if rss_dbm is None:
+            prediction = app_est
+        else:
+            phy_est = self.phy_rate_mbps(rss_dbm)
+            if app_est <= 0.0:
+                prediction = phy_est
+            else:
+                # The PHY rate is a ceiling: never predict above it.
+                blended = (
+                    self.phy_weight * phy_est + (1.0 - self.phy_weight) * app_est
+                )
+                prediction = min(blended, phy_est)
+        if blockage_predicted:
+            prediction *= self.blockage_discount
+        return prediction

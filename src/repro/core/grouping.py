@@ -1,0 +1,165 @@
+"""Multicast grouping based on viewport similarity (paper §4.2).
+
+Given each user's frame demand and the rates the PHY can offer, pick the
+multicast groups that minimize total frame airtime subject to the paper's
+admission constraint ``T_m(k) <= 1/F``.  Three policies:
+
+* :func:`no_grouping` — pure unicast (the baseline in Fig. 3e);
+* :func:`greedy_similarity_grouping` — the paper's approach: consider user
+  pairs in order of viewport similarity, merge while multicast actually
+  shortens the frame's airtime and the deadline holds;
+* :func:`exhaustive_grouping` — optimal partition by enumeration, feasible
+  for the paper's <= 7-user scale; used as the gold standard in ablations.
+
+The multicast rate of a candidate group comes from a caller-supplied
+``rate_fn(members) -> Mbps`` so the same grouper works with the calibrated
+capacity models (Table 1) and the beam-level channel (Fig. 3e): the rate a
+group gets depends on which beam the AP can design for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Sequence
+
+from ..mac.scheduler import FramePlan, UserDemand, plan_frame
+from .similarity import group_iou
+
+__all__ = [
+    "GroupingResult",
+    "no_grouping",
+    "greedy_similarity_grouping",
+    "exhaustive_grouping",
+]
+
+RateFn = Callable[[tuple[int, ...]], float]
+
+
+@dataclass(frozen=True)
+class GroupingResult:
+    """A chosen partition plus its delivery plan."""
+
+    plan: FramePlan
+    policy: str
+
+    @property
+    def groups(self) -> list[tuple[int, ...]]:
+        return [members for members, _ in self.plan.groups]
+
+    @property
+    def total_time_s(self) -> float:
+        return self.plan.total_time_s()
+
+    @property
+    def achievable_fps(self) -> float:
+        return self.plan.achievable_fps()
+
+
+def no_grouping(demands: Sequence[UserDemand]) -> GroupingResult:
+    """Pure unicast baseline."""
+    return GroupingResult(plan=plan_frame(list(demands)), policy="unicast")
+
+
+def _visibility_map(demand: UserDemand) -> frozenset:
+    return frozenset(demand.cell_bytes)
+
+
+def greedy_similarity_grouping(
+    demands: Sequence[UserDemand],
+    multicast_rate_fn: RateFn,
+    target_fps: float = 30.0,
+    min_iou: float = 0.05,
+) -> GroupingResult:
+    """Greedy merge of high-similarity users into multicast groups.
+
+    Start with singletons.  Repeatedly take the pair of groups whose merged
+    visibility maps have the highest IoU and merge them if doing so strictly
+    reduces the plan's total airtime; stop when no merge helps.  Finally
+    verify the paper's constraint ``T_m(k) <= 1/F``; if the best plan still
+    misses the deadline it is returned anyway (the session simulator then
+    reports the sub-30 FPS, exactly like Table 1 does).
+
+    Groups whose pairwise IoU is below ``min_iou`` are never merged —
+    multicasting nearly-disjoint viewports only adds beam complexity.
+    """
+    demand_list = list(demands)
+    by_id = {d.user_id: d for d in demand_list}
+    groups: list[tuple[int, ...]] = [(d.user_id,) for d in demand_list]
+
+    def plan_for(partition: list[tuple[int, ...]]) -> FramePlan:
+        multicast_groups = [
+            (g, multicast_rate_fn(g)) for g in partition if len(g) > 1
+        ]
+        return plan_frame(demand_list, groups=multicast_groups)
+
+    best_plan = plan_for(groups)
+    improved = True
+    while improved and len(groups) > 1:
+        improved = False
+        candidates = []
+        for ga, gb in combinations(groups, 2):
+            iou = group_iou(
+                [_visibility_map(by_id[u]) for u in ga]
+                + [_visibility_map(by_id[u]) for u in gb]
+            )
+            if iou >= min_iou:
+                candidates.append((iou, ga, gb))
+        # Highest-similarity merges first, with a deterministic tiebreak.
+        candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+        for _, ga, gb in candidates:
+            merged = tuple(sorted(ga + gb))
+            trial = [g for g in groups if g not in (ga, gb)] + [merged]
+            trial_plan = plan_for(trial)
+            if trial_plan.total_time_s() < best_plan.total_time_s() - 1e-12:
+                groups = trial
+                best_plan = trial_plan
+                improved = True
+                break
+    return GroupingResult(plan=best_plan, policy="greedy-similarity")
+
+
+def _partitions(items: list[int]):
+    """All set partitions of ``items`` (Bell-number enumeration)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _partitions(rest):
+        # first joins an existing block…
+        for i in range(len(partition)):
+            yield partition[:i] + [[first] + partition[i]] + partition[i + 1 :]
+        # …or starts its own.
+        yield [[first]] + partition
+
+
+def exhaustive_grouping(
+    demands: Sequence[UserDemand],
+    multicast_rate_fn: RateFn,
+    target_fps: float = 30.0,
+    max_users: int = 9,
+) -> GroupingResult:
+    """Optimal partition by full enumeration (small N only).
+
+    Bell(9) = 21147 partitions is the practical ceiling; beyond that the
+    grouper refuses rather than silently taking minutes.
+    """
+    demand_list = list(demands)
+    if len(demand_list) > max_users:
+        raise ValueError(
+            f"exhaustive grouping limited to {max_users} users "
+            f"(got {len(demand_list)}); use greedy_similarity_grouping"
+        )
+    ids = [d.user_id for d in demand_list]
+    best_plan: FramePlan | None = None
+    for partition in _partitions(ids):
+        multicast_groups = [
+            (tuple(sorted(block)), multicast_rate_fn(tuple(sorted(block))))
+            for block in partition
+            if len(block) > 1
+        ]
+        plan = plan_frame(demand_list, groups=multicast_groups)
+        if best_plan is None or plan.total_time_s() < best_plan.total_time_s():
+            best_plan = plan
+    assert best_plan is not None
+    return GroupingResult(plan=best_plan, policy="exhaustive")

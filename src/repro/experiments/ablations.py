@@ -1,0 +1,548 @@
+"""Research-agenda ablations (DESIGN.md Abl-A..E).
+
+The paper's §4 proposes techniques without end-to-end numbers; these
+runners evaluate each proposal against its natural baseline:
+
+* **Abl-A** — viewport predictors: last-value vs. linear regression vs. MLP
+  vs. the joint multi-user model (§4.1).
+* **Abl-B** — proactive blockage mitigation vs. reactive beam re-search
+  (§4.1): end-to-end stall time and QoE.
+* **Abl-C** — multicast grouping policies: none vs. greedy-similarity vs.
+  exhaustive-optimal (§4.2): sustained frame rate over the beam-level
+  channel.
+* **Abl-D** — rate adaptation: fixed / throughput / buffer / cross-layer
+  (§4.3): full-session QoE under a constrained, blockage-prone link.
+* **Abl-E** — cell-size sweep (§3): viewport similarity and per-user
+  traffic vs. segmentation granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import (
+    BufferPolicy,
+    CapacityRateProvider,
+    ChannelRateProvider,
+    CrossLayerPolicy,
+    FixedQualityPolicy,
+    ProactivePrefetchPolicy,
+    SessionConfig,
+    StreamingSession,
+    ThroughputPolicy,
+    compute_visibility_maps,
+    measure_max_fps,
+    pairwise_iou_samples,
+)
+from ..mac import AD_MODEL, RecoveryPolicy, apply_recovery
+from ..mmwave import compute_blockage_timeline
+from ..pointcloud import PAPER_CELL_SIZES, VisibilityConfig, compute_visibility
+from ..prediction import (
+    BlockageForecaster,
+    JointViewportPredictor,
+    LastValuePredictor,
+    LinearRegressionPredictor,
+    MlpViewportPredictor,
+    evaluate_predictor,
+    predicted_visibility_iou,
+)
+from .common import (
+    AP_POSITION,
+    DEFAULT_SEED,
+    default_channel,
+    default_study,
+    default_video,
+    format_table,
+    grid_for,
+    ideal_codebook,
+    room_video,
+    study_in_room,
+)
+
+__all__ = [
+    "PredictionAblation",
+    "run_prediction_ablation",
+    "BlockageAblation",
+    "run_blockage_ablation",
+    "GroupingAblation",
+    "run_grouping_ablation",
+    "AdaptationAblation",
+    "run_adaptation_ablation",
+    "CellSizeAblation",
+    "run_cellsize_ablation",
+    "MultiApAblation",
+    "run_multiap_ablation",
+]
+
+
+# ---------------------------------------------------------------- Abl-A ----
+
+
+@dataclass(frozen=True)
+class PredictionAblation:
+    """Accuracy per predictor: (pos err m, ori err deg, visibility IoU)."""
+
+    rows: dict[str, tuple[float, float, float]]
+
+    def format(self) -> str:
+        headers = ["Predictor", "PosErr(m)", "OriErr(deg)", "VisIoU"]
+        rows = [
+            [name, round(v[0], 3), round(v[1], 2), round(v[2], 3)]
+            for name, v in self.rows.items()
+        ]
+        return format_table(headers, rows, float_fmt="{:.3f}")
+
+
+def run_prediction_ablation(
+    num_users: int = 8,
+    duration_s: float = 8.0,
+    horizon_s: float = 0.5,
+    seed: int = DEFAULT_SEED,
+) -> PredictionAblation:
+    study = default_study(num_users=num_users, duration_s=duration_s, seed=seed)
+    video = default_video("high")
+    grid = grid_for(video, 0.5)
+
+    mlp = MlpViewportPredictor(seed=seed)
+    mlp.fit_traces(study.traces[: num_users // 2], horizon_s=horizon_s, epochs=40)
+    joint = JointViewportPredictor()
+
+    eval_traces = study.traces[num_users // 2 :]
+    rows: dict[str, tuple[float, float, float]] = {}
+    single = {
+        "last-value": LastValuePredictor(),
+        "linear-regression": LinearRegressionPredictor(),
+        "mlp": mlp,
+    }
+    for name, predictor in single.items():
+        evs = [
+            evaluate_predictor(predictor, t, horizon_s=horizon_s)
+            for t in eval_traces
+        ]
+        pos = float(np.mean([e.mean_position_error_m for e in evs]))
+        ori = float(np.mean([e.mean_orientation_error_deg for e in evs]))
+        iou = float(
+            np.mean(
+                [
+                    predicted_visibility_iou(
+                        predictor, t, video, grid, horizon_s=horizon_s
+                    )
+                    for t in eval_traces
+                ]
+            )
+        )
+        rows[name] = (pos, ori, iou)
+
+    # Joint predictor: evaluated on the full study (it needs all users).
+    from ..prediction import evaluate_joint_predictor
+
+    ev = evaluate_joint_predictor(joint, study, horizon_s=horizon_s)
+    # Visibility IoU for the joint model via its per-user poses is driven by
+    # the same base predictor; reuse the linear-regression IoU as the base
+    # and report the joint pose errors.
+    rows["joint-multiuser"] = (
+        ev.mean_position_error_m,
+        ev.mean_orientation_error_deg,
+        rows["linear-regression"][2],
+    )
+    return PredictionAblation(rows=rows)
+
+
+# ---------------------------------------------------------------- Abl-B ----
+
+
+@dataclass(frozen=True)
+class BlockageAblation:
+    """Session outcomes under reactive vs. proactive blockage handling.
+
+    ``rows`` carries the session QoE summary per policy plus two link-level
+    fields: ``outage_s`` (total dead airtime across users — the quantity
+    proactive mitigation eliminates) and ``mean_rate_fraction`` (average
+    link-rate multiplier).
+    """
+
+    rows: dict[str, dict[str, float]]  # policy -> QoE summary + link stats
+
+    def format(self) -> str:
+        headers = ["Policy", "mean_fps", "stall_s", "outage_s", "rate_frac", "qoe"]
+        rows = [
+            [
+                name,
+                round(s["mean_fps"], 2),
+                round(s["stall_time_s"], 3),
+                round(s.get("outage_s", 0.0), 3),
+                round(s.get("mean_rate_fraction", 1.0), 3),
+                round(s["qoe_score"], 1),
+            ]
+            for name, s in self.rows.items()
+        ]
+        return format_table(headers, rows, float_fmt="{:.2f}")
+
+
+def run_blockage_ablation(
+    num_users: int = 5,
+    duration_s: float = 8.0,
+    seed: int = DEFAULT_SEED,
+    max_buffer_frames: int = 4,
+    quality: str = "medium",
+) -> BlockageAblation:
+    """Reactive vs. proactive blockage handling, same workload and draws.
+
+    The *reactive* stack discovers a blockage only when RSS collapses: it
+    eats the 5-20 ms sector re-search outage, then limps on a reflection
+    beam.  The *proactive* stack uses the multi-user viewport prediction in
+    two ways (paper §4.1): the AP switches to the reflection beam before the
+    blocker arrives (no outage), and the scheduler prefetches extra frames
+    ahead of the predicted event.
+
+    The player runs with a thin buffer (default 4 frames ~ 133 ms) at a
+    quality that loads the link to just under capacity — the regime
+    volumetric streaming actually occupies, and the one where blockage
+    hiccups turn into stalls.
+    """
+    study = study_in_room(num_users=num_users, duration_s=duration_s, seed=seed)
+    video = room_video("high")
+    timeline = compute_blockage_timeline(study, AP_POSITION)
+    forecaster = BlockageForecaster(
+        ap_position=AP_POSITION,
+        predictor=JointViewportPredictor(),
+        horizon_s=0.5,
+    )
+    runs = {
+        "reactive": (
+            RecoveryPolicy.reactive(),
+            FixedQualityPolicy(quality),
+            None,
+        ),
+        "proactive": (
+            RecoveryPolicy.proactive_default(),
+            ProactivePrefetchPolicy(quality=quality, prefetch_frames=15),
+            forecaster,
+        ),
+    }
+    rows = {}
+    for name, (policy, adaptation, fc) in runs.items():
+        rates = CapacityRateProvider(
+            model=AD_MODEL,
+            num_users=num_users,
+            timeline=apply_recovery(timeline, policy, seed=seed),
+        )
+        config = SessionConfig(
+            video=video,
+            study=study,
+            rates=rates,
+            visibility=VisibilityConfig(),
+            grouping="none",
+            adaptation=adaptation,
+            blockage_forecaster=fc,
+            duration_s=duration_s,
+            max_buffer_frames=max_buffer_frames,
+            adaptation_interval_s=0.25,
+        )
+        report = StreamingSession(config).run()
+        summary = report.summary()
+        recovered = rates.timeline
+        assert recovered is not None
+        summary["outage_s"] = float(
+            sum(
+                recovered.outage_fraction(u) * duration_s
+                for u in range(num_users)
+            )
+        )
+        summary["mean_rate_fraction"] = float(
+            np.mean(
+                [recovered.mean_rate_fraction(u) for u in range(num_users)]
+            )
+        )
+        rows[name] = summary
+    return BlockageAblation(rows=rows)
+
+
+# ---------------------------------------------------------------- Abl-C ----
+
+
+@dataclass(frozen=True)
+class GroupingAblation:
+    """Mean achievable FPS per grouping policy and user count."""
+
+    fps: dict[str, dict[int, float]]  # policy -> num_users -> mean fps
+
+    def format(self) -> str:
+        policies = list(self.fps)
+        counts = sorted(next(iter(self.fps.values())))
+        headers = ["Users"] + policies
+        rows = [
+            [n] + [round(self.fps[p][n], 2) for p in policies] for n in counts
+        ]
+        return format_table(headers, rows, float_fmt="{:.2f}")
+
+
+def run_grouping_ablation(
+    user_counts: tuple[int, ...] = (2, 4, 6),
+    duration_s: float = 6.0,
+    num_frames: int = 30,
+    seed: int = DEFAULT_SEED,
+) -> GroupingAblation:
+    """Unicast vs. greedy vs. exhaustive grouping on the beam-level channel."""
+    video = room_video("high")
+    channel = default_channel()
+    codebook = ideal_codebook()
+    fps: dict[str, dict[int, float]] = {
+        "unicast": {}, "greedy": {}, "exhaustive": {},
+    }
+    for n in user_counts:
+        study = study_in_room(num_users=n, duration_s=duration_s, seed=seed)
+        rates = ChannelRateProvider(
+            channel=channel, codebook=codebook, study=study
+        )
+        for policy, label in (
+            ("none", "unicast"),
+            ("greedy", "greedy"),
+            ("exhaustive", "exhaustive"),
+        ):
+            config = SessionConfig(
+                video=video,
+                study=study,
+                rates=rates,
+                visibility=VisibilityConfig(),
+                grouping=policy,
+                adaptation=FixedQualityPolicy("high"),
+                duration_s=duration_s,
+            )
+            series = measure_max_fps(config, num_frames=num_frames, stride=3)
+            fps[label][n] = float(np.mean(series))
+    return GroupingAblation(fps=fps)
+
+
+# ---------------------------------------------------------------- Abl-D ----
+
+
+@dataclass(frozen=True)
+class AdaptationAblation:
+    """QoE summary per adaptation policy."""
+
+    rows: dict[str, dict[str, float]]
+
+    def format(self) -> str:
+        headers = ["Policy", "mean_fps", "bitrate", "stall_s", "switches", "qoe"]
+        rows = [
+            [
+                name,
+                round(s["mean_fps"], 2),
+                round(s["mean_bitrate_mbps"], 1),
+                round(s["stall_time_s"], 3),
+                int(s["quality_switches"]),
+                round(s["qoe_score"], 1),
+            ]
+            for name, s in self.rows.items()
+        ]
+        return format_table(headers, rows, float_fmt="{:.2f}")
+
+
+def run_adaptation_ablation(
+    num_users: int = 5,
+    duration_s: float = 8.0,
+    seed: int = DEFAULT_SEED,
+) -> AdaptationAblation:
+    """Adaptation policies on a constrained, blockage-prone 802.11ad link.
+
+    Five users put the link right at the high-quality capacity edge, so
+    the policies differentiate: fixed-high stalls, rate/buffer/MPC trade
+    switches against bitrate, and the cross-layer policy (blockage
+    forecast + PHY fusion) eliminates stalls *and* switches at a small
+    bitrate cost.
+    """
+    study = study_in_room(num_users=num_users, duration_s=duration_s, seed=seed)
+    video = room_video("high")
+    timeline = compute_blockage_timeline(study, AP_POSITION)
+    recovered = apply_recovery(timeline, RecoveryPolicy.reactive(), seed=seed)
+    forecaster = BlockageForecaster(
+        ap_position=AP_POSITION,
+        predictor=JointViewportPredictor(),
+        horizon_s=0.5,
+    )
+    from ..core import MpcPolicy
+
+    policies = {
+        "fixed-high": (FixedQualityPolicy("high"), None),
+        "throughput": (ThroughputPolicy(), None),
+        "buffer": (BufferPolicy(), None),
+        "mpc": (MpcPolicy(), None),
+        "cross-layer": (CrossLayerPolicy(), forecaster),
+    }
+    rows = {}
+    for name, (policy, fc) in policies.items():
+        rates = CapacityRateProvider(
+            model=AD_MODEL, num_users=num_users, timeline=recovered
+        )
+        config = SessionConfig(
+            video=video,
+            study=study,
+            rates=rates,
+            visibility=VisibilityConfig(),
+            grouping="none",
+            adaptation=policy,
+            blockage_forecaster=fc,
+            duration_s=duration_s,
+        )
+        report = StreamingSession(config).run()
+        rows[name] = report.summary()
+    return AdaptationAblation(rows=rows)
+
+
+# ---------------------------------------------------------------- Abl-E ----
+
+
+@dataclass(frozen=True)
+class CellSizeAblation:
+    """Per cell size: mean pair IoU, mean visible fraction, per-frame MB."""
+
+    rows: dict[float, tuple[float, float, float]]
+
+    def format(self) -> str:
+        headers = ["Cell(cm)", "PairIoU", "VisibleFrac", "MB/frame"]
+        rows = [
+            [int(size * 100), round(v[0], 3), round(v[1], 3), round(v[2], 3)]
+            for size, v in sorted(self.rows.items())
+        ]
+        return format_table(headers, rows, float_fmt="{:.3f}")
+
+
+def run_cellsize_ablation(
+    cell_sizes: tuple[float, ...] = PAPER_CELL_SIZES,
+    num_users: int = 8,
+    duration_s: float = 5.0,
+    seed: int = DEFAULT_SEED,
+) -> CellSizeAblation:
+    """Granularity trade-off: finer cells cut traffic but reduce overlap."""
+    study = default_study(num_users=num_users, duration_s=duration_s, seed=seed)
+    video = default_video("high")
+    config = VisibilityConfig()
+    rows = {}
+    for size in cell_sizes:
+        grid = grid_for(video, size)
+        maps = compute_visibility_maps(study, video, grid, config=config)
+        iou = float(np.mean(pairwise_iou_samples(maps)))
+        fractions, bytes_ = [], []
+        for trace in study.traces[:4]:
+            for f in range(0, study.num_samples, 10):
+                occ = grid.occupancy(video[f % len(video)])
+                vis = compute_visibility(occ, trace.pose(f).frustum(), config)
+                fractions.append(vis.visible_fraction)
+                bytes_.append(vis.request_bytes() / 1e6)
+        rows[size] = (iou, float(np.mean(fractions)), float(np.mean(bytes_)))
+    return CellSizeAblation(rows=rows)
+
+
+# ---------------------------------------------------------------- Abl-F ----
+
+
+@dataclass(frozen=True)
+class MultiApAblation:
+    """Frame airtime (ms) with 1 AP vs. concurrent APs, per user count."""
+
+    rows: dict[int, tuple[float, float]]  # users -> (single_ms, multi_ms)
+
+    def speedup(self, num_users: int) -> float:
+        single, multi = self.rows[num_users]
+        return single / multi if multi > 0 else float("inf")
+
+    def format(self) -> str:
+        headers = ["Users", "1-AP (ms)", "2-AP (ms)", "Speedup"]
+        rows = [
+            [n, round(s, 2), round(m, 2), round(self.speedup(n), 2)]
+            for n, (s, m) in sorted(self.rows.items())
+        ]
+        return format_table(headers, rows, float_fmt="{:.2f}")
+
+
+def run_multiap_ablation(
+    user_counts: tuple[int, ...] = (2, 4, 6, 8),
+    num_instants: int = 12,
+    duration_s: float = 6.0,
+    seed: int = DEFAULT_SEED,
+) -> MultiApAblation:
+    """Spatial reuse with two APs and two viewing clusters (paper §5).
+
+    The audience splits into two co-watching clusters (e.g. two exhibits in
+    a museum), one near each wall AP.  Users demand the visible cells of
+    their cluster's content at high quality.  We compare one AP serving the
+    whole room against two coordinated APs (interference-aware: concurrent
+    spatial reuse when SINR allows, AP-TDMA otherwise).
+    """
+    from ..core import (
+        MultiApDeployment,
+        coordinated_frame_time,
+        single_ap_frame_time,
+    )
+    from ..mac import UserDemand
+    from ..mmwave import AccessPoint, Channel, Codebook, LinkBudget, Room
+    from ..pointcloud import CellGrid, compute_visibility
+    from ..traces import generate_user_study
+
+    room = Room(8.0, 10.0, 3.0)
+    budget = LinkBudget(implementation_loss_db=8.0, reflection_loss_db=9.0)
+    ap_a = AccessPoint(position=AP_POSITION.copy(), boresight_az=np.pi / 2)
+    ap_b = AccessPoint(
+        position=np.array([4.0, 9.7, 2.0]), boresight_az=-np.pi / 2
+    )
+    deployment = MultiApDeployment(
+        channels=[
+            Channel(ap=ap_a, room=room, budget=budget),
+            Channel(ap=ap_b, room=room, budget=budget),
+        ],
+        codebooks=[
+            Codebook(ap_a.array, phase_bits=None),
+            Codebook(ap_b.array, phase_bits=None),
+        ],
+    )
+    base_video = default_video("high")
+    centers = (np.array([4.0, 2.8, 0.0]), np.array([4.0, 7.2, 0.0]))
+    videos = [base_video.translated(c) for c in centers]
+    grids = [grid_for(v, 0.5) for v in videos]
+    config = VisibilityConfig()
+    rng = np.random.default_rng(seed)
+
+    rows = {}
+    for n in user_counts:
+        half = max(1, n // 2)
+        clusters = [
+            generate_user_study(
+                num_users=half, duration_s=duration_s, seed=seed + ci,
+                content_center=centers[ci],
+            )
+            for ci in range(2)
+        ]
+        singles, multis = [], []
+        for _ in range(num_instants):
+            s = int(rng.integers(0, clusters[0].num_samples))
+            demands = {}
+            positions = {}
+            uid = 0
+            for ci, study in enumerate(clusters):
+                occ = grids[ci].occupancy(videos[ci][s % len(videos[ci])])
+                for trace in study.traces:
+                    pose = trace.pose(s)
+                    vis = compute_visibility(occ, pose.frustum(), config)
+                    cell_bytes = {
+                        # Offset cluster-1 cell ids so the two contents do
+                        # not alias in the similarity computation.
+                        int(c) + ci * 10**6: float(
+                            f * cnt * videos[ci].quality.bytes_per_point
+                        )
+                        for c, f, cnt in zip(
+                            vis.cell_ids, vis.fractions, vis.nominal_counts
+                        )
+                    }
+                    demands[uid] = UserDemand(uid, cell_bytes, 0.0)
+                    positions[uid] = trace.positions[s]
+                    uid += 1
+            t1 = single_ap_frame_time(deployment, demands, positions)
+            t2 = coordinated_frame_time(deployment, demands, positions)
+            if np.isfinite(t1) and np.isfinite(t2):
+                singles.append(t1 * 1000)
+                multis.append(t2 * 1000)
+        rows[n] = (float(np.mean(singles)), float(np.mean(multis)))
+    return MultiApAblation(rows=rows)

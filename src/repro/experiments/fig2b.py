@@ -1,0 +1,84 @@
+"""Fig. 2b: CDFs of viewport IoU across device, cell size, and group size.
+
+Four curves, as in the paper:
+
+* ``HM(2)-Seg(100cm)`` — headset pairs, 100 cm cells;
+* ``HM(2)-Seg(50cm)``  — headset pairs, 50 cm cells;
+* ``PH(2)-Seg(50cm)``  — phone pairs, 50 cm cells;
+* ``HM(3)-Seg(50cm)``  — headset triples, 50 cm cells.
+
+Expected orderings (the paper's findings, asserted by the benchmark):
+coarser cells -> higher IoU; phones -> higher IoU than headsets; larger
+groups -> lower IoU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import compute_visibility_maps, group_iou_samples, pairwise_iou_samples
+from ..pointcloud import VisibilityConfig
+from ..traces import Device
+from .common import DEFAULT_SEED, default_study, default_video, grid_for
+
+__all__ = ["Fig2bResult", "run_fig2b", "FIG2B_CURVES"]
+
+FIG2B_CURVES = (
+    "HM(2)-Seg(100cm)",
+    "HM(2)-Seg(50cm)",
+    "PH(2)-Seg(50cm)",
+    "HM(3)-Seg(50cm)",
+)
+
+
+@dataclass(frozen=True)
+class Fig2bResult:
+    """IoU sample sets per curve (feed to ``empirical_cdf`` for plotting)."""
+
+    samples: dict[str, np.ndarray]
+
+    def mean_iou(self, curve: str) -> float:
+        return float(np.mean(self.samples[curve]))
+
+    def median_iou(self, curve: str) -> float:
+        return float(np.median(self.samples[curve]))
+
+    def summary(self) -> dict[str, float]:
+        return {curve: self.mean_iou(curve) for curve in self.samples}
+
+
+def run_fig2b(
+    num_users: int = 32,
+    duration_s: float = 10.0,
+    seed: int = DEFAULT_SEED,
+    max_groups: int = 60,
+) -> Fig2bResult:
+    """Regenerate the four CDF sample sets of Fig. 2b."""
+    study = default_study(num_users=num_users, duration_s=duration_s, seed=seed)
+    video = default_video("high")
+    config = VisibilityConfig()
+
+    hm_ids = [t.user_id for t in study.by_device(Device.HEADSET)]
+    ph_ids = [t.user_id for t in study.by_device(Device.PHONE)]
+
+    maps_100 = compute_visibility_maps(
+        study, video, grid_for(video, 1.0), users=hm_ids, config=config
+    )
+    maps_50_hm = compute_visibility_maps(
+        study, video, grid_for(video, 0.5), users=hm_ids, config=config
+    )
+    maps_50_ph = compute_visibility_maps(
+        study, video, grid_for(video, 0.5), users=ph_ids, config=config
+    )
+
+    samples = {
+        "HM(2)-Seg(100cm)": pairwise_iou_samples(maps_100),
+        "HM(2)-Seg(50cm)": pairwise_iou_samples(maps_50_hm),
+        "PH(2)-Seg(50cm)": pairwise_iou_samples(maps_50_ph),
+        "HM(3)-Seg(50cm)": group_iou_samples(
+            maps_50_hm, group_size=3, max_groups=max_groups, seed=seed
+        ),
+    }
+    return Fig2bResult(samples=samples)

@@ -1,0 +1,126 @@
+"""The headline scaling question: how many users sustain 30 FPS?
+
+The paper's abstract and §3 frame everything around this number: vanilla
+802.11ac supports one user, 802.11ad three to four, ViVo adds "one or
+two", and the proposed multicast/cross-layer design should push further.
+This runner sweeps the user count for each system configuration and
+reports the largest count that still sustains (near-)30 FPS at high
+quality — the single-row summary of the whole reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import (
+    CapacityRateProvider,
+    FixedQualityPolicy,
+    SessionConfig,
+    measure_max_fps,
+)
+from ..mac import AC_MODEL, AD_MODEL
+from ..pointcloud import VisibilityConfig
+from .common import (
+    DEFAULT_SEED,
+    default_study,
+    default_video,
+    format_table,
+)
+
+__all__ = ["ScalingResult", "run_scaling", "SCALING_SYSTEMS"]
+
+SCALING_SYSTEMS = (
+    "802.11ac vanilla",
+    "802.11ac ViVo",
+    "802.11ad vanilla",
+    "802.11ad ViVo",
+    "802.11ad ViVo+multicast",
+)
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Per system: user count -> mean FPS, plus max users at ~30 FPS."""
+
+    fps: dict[str, dict[int, float]]
+    threshold_fps: float = 29.0
+
+    def max_users(self, system: str) -> int:
+        counts = self.fps[system]
+        supported = [n for n, f in counts.items() if f >= self.threshold_fps]
+        return max(supported, default=0)
+
+    def format(self) -> str:
+        counts = sorted(next(iter(self.fps.values())))
+        headers = ["System"] + [str(n) for n in counts] + ["max@30"]
+        rows = []
+        for system in SCALING_SYSTEMS:
+            if system not in self.fps:
+                continue
+            rows.append(
+                [system]
+                + [round(self.fps[system][n], 1) for n in counts]
+                + [self.max_users(system)]
+            )
+        return format_table(headers, rows)
+
+
+def _mean_fps(config: SessionConfig, num_frames: int) -> float:
+    return float(np.mean(measure_max_fps(config, num_frames=num_frames, stride=3)))
+
+
+def run_scaling(
+    user_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    quality: str = "high",
+    num_frames: int = 24,
+    duration_s: float = 5.0,
+    seed: int = DEFAULT_SEED,
+    multicast_rate_fraction: float = 0.8,
+) -> ScalingResult:
+    """Sweep user counts across the five system configurations.
+
+    The multicast row runs on the same calibrated 802.11ad capacity model
+    as the unicast rows so user counts compare apples to apples;
+    ``multicast_rate_fraction`` (default 0.8, about one MCS step) charges
+    the group-minimum-MCS penalty of the custom-beam multicast, the
+    penalty level the Fig. 3d/3e beam experiments measure.
+    """
+    video = default_video(quality)
+    fps: dict[str, dict[int, float]] = {s: {} for s in SCALING_SYSTEMS}
+
+    for n in user_counts:
+        study = default_study(num_users=n, duration_s=duration_s, seed=seed)
+        for model, label in ((AC_MODEL, "802.11ac"), (AD_MODEL, "802.11ad")):
+            rates = CapacityRateProvider(model=model, num_users=n)
+            for vivo in (False, True):
+                config = SessionConfig(
+                    video=video,
+                    study=study,
+                    rates=rates,
+                    visibility=(
+                        VisibilityConfig() if vivo else VisibilityConfig.vanilla()
+                    ),
+                    grouping="none",
+                    adaptation=FixedQualityPolicy(quality),
+                    duration_s=duration_s,
+                )
+                name = f"{label} {'ViVo' if vivo else 'vanilla'}"
+                fps[name][n] = _mean_fps(config, num_frames)
+
+        config = SessionConfig(
+            video=video,
+            study=study,
+            rates=CapacityRateProvider(
+                model=AD_MODEL,
+                num_users=n,
+                multicast_rate_fraction=multicast_rate_fraction,
+            ),
+            visibility=VisibilityConfig(),
+            grouping="greedy",
+            adaptation=FixedQualityPolicy(quality),
+            duration_s=duration_s,
+        )
+        fps["802.11ad ViVo+multicast"][n] = _mean_fps(config, num_frames)
+    return ScalingResult(fps=fps)

@@ -1,0 +1,129 @@
+"""Table 1: multi-user streaming performance, vanilla vs. ViVo.
+
+Reproduces the paper's scaling experiment: the maximum achievable frame
+rate (capped at 30 FPS) when 1-3 users share 802.11ac or 1-7 users share
+802.11ad, streaming the soldier video at 330K/430K/550K points per frame,
+with the vanilla full-cloud player and the visibility-optimized ViVo
+player.  Also reports the per-user transport data rate column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import CapacityRateProvider, FixedQualityPolicy, SessionConfig, measure_max_fps
+from ..mac import AC_MODEL, AD_MODEL, WlanCapacityModel
+from ..pointcloud import QUALITY_ORDER, VisibilityConfig
+from .common import DEFAULT_SEED, default_study, default_video, format_table
+
+__all__ = ["Table1Row", "Table1Result", "run_table1", "PAPER_TABLE1"]
+
+# The paper's measured values, for side-by-side comparison in EXPERIMENTS.md.
+# network -> users -> (per-user Mbps, vanilla (low, med, high), vivo (...)).
+PAPER_TABLE1: dict[str, dict[int, tuple]] = {
+    "802.11ac": {
+        1: (374, (30.0, 30.0, 30.0), (30.0, 30.0, 30.0)),
+        2: (180, (21.5, 17.4, 14.1), (30.0, 28.5, 21.9)),
+        3: (112, (13.6, 10.9, 8.4), (19.2, 17.7, 13.6)),
+    },
+    "802.11ad": {
+        1: (1270, (30.0, 30.0, 30.0), (30.0, 30.0, 30.0)),
+        2: (575, (30.0, 30.0, 30.0), (30.0, 30.0, 30.0)),
+        3: (382, (30.0, 30.0, 30.0), (30.0, 30.0, 30.0)),
+        4: (298, (30.0, 29.3, 21.8), (30.0, 30.0, 30.0)),
+        5: (231, (27.4, 21.6, 18.0), (30.0, 30.0, 29.3)),
+        6: (175, (19.8, 16.5, 13.2), (30.0, 27.5, 21.2)),
+        7: (144, (16.8, 13.5, 11.2), (27.0, 22.9, 17.2)),
+    },
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (network, user-count) row."""
+
+    network: str
+    num_users: int
+    per_user_rate_mbps: float
+    vanilla_fps: tuple[float, float, float]  # low, medium, high
+    vivo_fps: tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: list[Table1Row]
+
+    def row(self, network: str, num_users: int) -> Table1Row:
+        for r in self.rows:
+            if r.network == network and r.num_users == num_users:
+                return r
+        raise KeyError(f"no row for {network} x {num_users}")
+
+    def format(self) -> str:
+        headers = [
+            "Network", "Users", "Mbps/user",
+            "V-330K", "V-430K", "V-550K",
+            "ViVo-330K", "ViVo-430K", "ViVo-550K",
+        ]
+        rows = [
+            [r.network, r.num_users, round(r.per_user_rate_mbps, 0),
+             *[round(f, 1) for f in r.vanilla_fps],
+             *[round(f, 1) for f in r.vivo_fps]]
+            for r in self.rows
+        ]
+        return format_table(headers, rows)
+
+
+def _fps_for(
+    model: WlanCapacityModel,
+    num_users: int,
+    quality: str,
+    vivo: bool,
+    num_frames: int,
+    seed: int,
+) -> float:
+    video = default_video(quality)
+    study = default_study(num_users=num_users, duration_s=6.0, seed=seed)
+    config = SessionConfig(
+        video=video,
+        study=study,
+        rates=CapacityRateProvider(model=model, num_users=num_users),
+        visibility=VisibilityConfig() if vivo else VisibilityConfig.vanilla(),
+        grouping="none",
+        adaptation=FixedQualityPolicy(quality),
+    )
+    fps = measure_max_fps(config, num_frames=num_frames, stride=3)
+    return float(np.mean(fps))
+
+
+def run_table1(
+    num_frames: int = 45,
+    seed: int = DEFAULT_SEED,
+    networks: tuple[str, ...] = ("802.11ac", "802.11ad"),
+) -> Table1Result:
+    """Regenerate Table 1 (per-user rates and FPS at all qualities)."""
+    models = {"802.11ac": (AC_MODEL, 3), "802.11ad": (AD_MODEL, 7)}
+    rows = []
+    for network in networks:
+        model, max_users = models[network]
+        for n in range(1, max_users + 1):
+            vanilla = tuple(
+                _fps_for(model, n, q, vivo=False, num_frames=num_frames, seed=seed)
+                for q in QUALITY_ORDER
+            )
+            vivo = tuple(
+                _fps_for(model, n, q, vivo=True, num_frames=num_frames, seed=seed)
+                for q in QUALITY_ORDER
+            )
+            rows.append(
+                Table1Row(
+                    network=network,
+                    num_users=n,
+                    per_user_rate_mbps=model.per_user_mbps(n),
+                    vanilla_fps=vanilla,
+                    vivo_fps=vivo,
+                )
+            )
+    return Table1Result(rows=rows)

@@ -1,0 +1,89 @@
+"""Axis-aligned bounding boxes.
+
+Cells of a partitioned point cloud are AABBs; frustum culling tests AABBs
+against the viewport frustum.  The class carries vectorized helpers so a
+whole grid of cells can be culled in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AABB"]
+
+
+@dataclass(frozen=True)
+class AABB:
+    """An axis-aligned box described by two corners ``lo <= hi``."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        if lo.shape != (3,) or hi.shape != (3,):
+            raise ValueError("AABB corners must be 3-vectors")
+        if np.any(lo > hi):
+            raise ValueError(f"AABB lo {lo} exceeds hi {hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @staticmethod
+    def of_points(points: np.ndarray) -> "AABB":
+        """Tight bounding box of an ``(N, 3)`` point set."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3 or len(points) == 0:
+            raise ValueError("need a non-empty (N, 3) point array")
+        return AABB(points.min(axis=0), points.max(axis=0))
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def size(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self.size))
+
+    def corners(self) -> np.ndarray:
+        """All 8 corner points, shape ``(8, 3)``."""
+        lo, hi = self.lo, self.hi
+        xs = np.array([lo[0], hi[0]])
+        ys = np.array([lo[1], hi[1]])
+        zs = np.array([lo[2], hi[2]])
+        return np.array([[x, y, z] for x in xs for y in ys for z in zs])
+
+    def contains(self, point: np.ndarray) -> bool:
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.all(p >= self.lo) and np.all(p <= self.hi))
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask over an ``(N, 3)`` point array."""
+        points = np.asarray(points, dtype=np.float64)
+        return np.all((points >= self.lo) & (points <= self.hi), axis=1)
+
+    def intersects(self, other: "AABB") -> bool:
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def union(self, other: "AABB") -> "AABB":
+        return AABB(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def expanded(self, margin: float) -> "AABB":
+        """A copy grown by ``margin`` on every side (margin may be negative)."""
+        m = np.full(3, float(margin))
+        lo, hi = self.lo - m, self.hi + m
+        if np.any(lo > hi):
+            raise ValueError("negative margin collapses the box")
+        return AABB(lo, hi)
+
+    def distance_to_point(self, point: np.ndarray) -> float:
+        """Euclidean distance from ``point`` to the box (0 if inside)."""
+        p = np.asarray(point, dtype=np.float64)
+        d = np.maximum(np.maximum(self.lo - p, 0.0), p - self.hi)
+        return float(np.linalg.norm(d))

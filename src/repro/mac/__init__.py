@@ -1,0 +1,28 @@
+"""MAC layer: WLAN capacity models, frame scheduling, link-event recovery."""
+
+from .events import LinkRateTimeline, RecoveryPolicy, apply_recovery
+from .scheduler import (
+    FramePlan,
+    UserDemand,
+    multicast_frame_time,
+    overlap_bytes,
+    plan_frame,
+    unicast_frame_time,
+)
+from .wlan import AC_MODEL, AD_MODEL, STREAMING_GOODPUT_EFFICIENCY, WlanCapacityModel
+
+__all__ = [
+    "LinkRateTimeline",
+    "RecoveryPolicy",
+    "apply_recovery",
+    "FramePlan",
+    "UserDemand",
+    "multicast_frame_time",
+    "overlap_bytes",
+    "plan_frame",
+    "unicast_frame_time",
+    "AC_MODEL",
+    "AD_MODEL",
+    "STREAMING_GOODPUT_EFFICIENCY",
+    "WlanCapacityModel",
+]

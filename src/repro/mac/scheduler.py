@@ -1,0 +1,173 @@
+"""Frame transmission scheduling: unicast vs. viewport-similarity multicast.
+
+Implements the paper's transmission-time model (§4.2).  For a multicast
+group k the time to deliver one frame to every member is
+
+    T_m(k) = S_m(k) / r_m  +  sum_i (S_i - S_m(k)) / r_i
+
+where ``S_m(k)`` is the size of the group's overlapped (intersection) cells,
+``r_m`` the multicast rate (set by the weakest member's MCS under the
+group's beam), and ``S_i``/``r_i`` each member's total requested bytes and
+unicast rate.  Groups are admitted subject to T_m(k) <= 1/F for the target
+frame rate F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "UserDemand",
+    "overlap_bytes",
+    "unicast_frame_time",
+    "multicast_frame_time",
+    "FramePlan",
+    "plan_frame",
+]
+
+
+@dataclass(frozen=True)
+class UserDemand:
+    """One user's demand for one video frame.
+
+    ``cell_bytes`` maps cell id -> compressed bytes this user needs from
+    that cell (after the user's visibility/density reduction).
+    """
+
+    user_id: int
+    cell_bytes: dict[int, float]
+    unicast_rate_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.unicast_rate_mbps < 0:
+            raise ValueError("unicast_rate_mbps must be non-negative")
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(self.cell_bytes.values()))
+
+
+def overlap_bytes(demands: list[UserDemand]) -> float:
+    """S_m(k): bytes of the cells *every* group member requests.
+
+    For a shared cell, members may want different densities (distance
+    optimization); the multicast carries the maximum requested density and
+    members discard excess points locally, so the shared size is the
+    per-cell max over members.
+    """
+    if not demands:
+        return 0.0
+    shared = set(demands[0].cell_bytes)
+    for d in demands[1:]:
+        shared &= set(d.cell_bytes)
+    return float(
+        sum(max(d.cell_bytes[c] for d in demands) for c in shared)
+    )
+
+
+def _transfer_time_s(nbytes: float, rate_mbps: float) -> float:
+    """Seconds to move ``nbytes`` at ``rate_mbps`` (inf if the link is down)."""
+    if nbytes <= 0:
+        return 0.0
+    if rate_mbps <= 0:
+        return float("inf")
+    return nbytes * 8.0 / (rate_mbps * 1e6)
+
+
+def unicast_frame_time(demands: list[UserDemand]) -> float:
+    """Serialized airtime to unicast every user's full demand."""
+    return float(sum(_transfer_time_s(d.total_bytes, d.unicast_rate_mbps)
+                     for d in demands))
+
+
+def multicast_frame_time(
+    demands: list[UserDemand], multicast_rate_mbps: float
+) -> float:
+    """The paper's T_m(k) for one group.
+
+    The shared cells go out once at the multicast rate; each member's
+    residual cells follow via unicast at that member's own rate.
+    """
+    if not demands:
+        return 0.0
+    s_m = overlap_bytes(demands)
+    t = _transfer_time_s(s_m, multicast_rate_mbps)
+    shared = set(demands[0].cell_bytes)
+    for d in demands[1:]:
+        shared &= set(d.cell_bytes)
+    for d in demands:
+        residual = sum(b for c, b in d.cell_bytes.items() if c not in shared)
+        t += _transfer_time_s(residual, d.unicast_rate_mbps)
+    return float(t)
+
+
+@dataclass
+class FramePlan:
+    """A complete delivery plan for one frame across all users.
+
+    ``groups`` lists multicast groups (with their rates); users not covered
+    by any group are served pure unicast.
+    """
+
+    demands: dict[int, UserDemand]
+    groups: list[tuple[tuple[int, ...], float]] = field(default_factory=list)
+    beam_switch_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        covered: set[int] = set()
+        for members, rate in self.groups:
+            if rate < 0:
+                raise ValueError("multicast rate must be non-negative")
+            for m in members:
+                if m in covered:
+                    raise ValueError(f"user {m} appears in two groups")
+                if m not in self.demands:
+                    raise KeyError(f"group member {m} has no demand")
+                covered.add(m)
+
+    @property
+    def grouped_users(self) -> set[int]:
+        return {m for members, _ in self.groups for m in members}
+
+    @property
+    def solo_users(self) -> list[int]:
+        return [u for u in self.demands if u not in self.grouped_users]
+
+    def total_time_s(self) -> float:
+        """Airtime to deliver the frame to everyone under this plan."""
+        t = 0.0
+        num_transmissions = 0
+        for members, rate in self.groups:
+            group_demands = [self.demands[m] for m in members]
+            t += multicast_frame_time(group_demands, rate)
+            num_transmissions += 1 + len(members)  # one multicast + residuals
+        for u in self.solo_users:
+            t += _transfer_time_s(
+                self.demands[u].total_bytes, self.demands[u].unicast_rate_mbps
+            )
+            num_transmissions += 1
+        return t + self.beam_switch_overhead_s * num_transmissions
+
+    def achievable_fps(self, cap_fps: float = 30.0) -> float:
+        """Frame rate this plan sustains (1 / total time, capped)."""
+        t = self.total_time_s()
+        if t <= 0:
+            return cap_fps
+        return min(cap_fps, 1.0 / t)
+
+    def satisfies(self, target_fps: float) -> bool:
+        """The paper's admission constraint T_m(k) <= 1/F."""
+        return self.total_time_s() <= 1.0 / target_fps
+
+
+def plan_frame(
+    demands: list[UserDemand],
+    groups: list[tuple[tuple[int, ...], float]] | None = None,
+    beam_switch_overhead_s: float = 0.0,
+) -> FramePlan:
+    """Build a :class:`FramePlan` from a demand list."""
+    return FramePlan(
+        demands={d.user_id: d for d in demands},
+        groups=groups or [],
+        beam_switch_overhead_s=beam_switch_overhead_s,
+    )

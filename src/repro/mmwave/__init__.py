@@ -1,0 +1,83 @@
+"""mmWave (802.11ad) PHY substrate: MCS tables, phased arrays, beams, channel."""
+
+from .array import CARRIER_HZ, WAVELENGTH_M, PhasedArray, steering_weights
+from .beams import (
+    MulticastBeamDesign,
+    best_common_beam,
+    best_unicast_beam,
+    combine_weights,
+    design_multicast_beam,
+)
+from .blockage import (
+    BODY_HEIGHT_M,
+    BODY_RADIUS_M,
+    BeamSearchLatency,
+    BlockageTimeline,
+    HumanBody,
+    bodies_from_positions,
+    compute_blockage_timeline,
+    link_blockers,
+)
+from .channel import AccessPoint, Channel, LinkBudget, fspl_db
+from .codebook import Beam, Codebook
+from .mcs import (
+    MAC_EFFICIENCY,
+    MCS_TABLE,
+    McsEntry,
+    app_rate_mbps,
+    mcs_for_rss,
+    min_rss_for_phy_rate,
+    phy_rate_mbps,
+)
+from .raytrace import PropagationPath, Room, trace_paths
+from .sweep import BeamTracker, SectorSweep, SweepResult, SweepTiming
+from .sinr import (
+    NOISE_FLOOR_DBM,
+    app_rate_for_sinr_mbps,
+    mcs_for_sinr,
+    sinr_db,
+)
+
+__all__ = [
+    "CARRIER_HZ",
+    "WAVELENGTH_M",
+    "PhasedArray",
+    "steering_weights",
+    "MulticastBeamDesign",
+    "best_common_beam",
+    "best_unicast_beam",
+    "combine_weights",
+    "design_multicast_beam",
+    "BODY_HEIGHT_M",
+    "BODY_RADIUS_M",
+    "BeamSearchLatency",
+    "BlockageTimeline",
+    "HumanBody",
+    "bodies_from_positions",
+    "compute_blockage_timeline",
+    "link_blockers",
+    "AccessPoint",
+    "Channel",
+    "LinkBudget",
+    "fspl_db",
+    "Beam",
+    "Codebook",
+    "MAC_EFFICIENCY",
+    "MCS_TABLE",
+    "McsEntry",
+    "app_rate_mbps",
+    "mcs_for_rss",
+    "min_rss_for_phy_rate",
+    "phy_rate_mbps",
+    "PropagationPath",
+    "Room",
+    "trace_paths",
+    "NOISE_FLOOR_DBM",
+    "app_rate_for_sinr_mbps",
+    "mcs_for_sinr",
+    "sinr_db",
+    "BeamTracker",
+    "SectorSweep",
+    "SweepResult",
+    "SweepTiming",
+]

@@ -1,0 +1,170 @@
+"""Custom multi-lobe beam design for mmWave multicast (paper §4.2).
+
+The paper's key PHY-layer idea: the default single-lobe sector beams cannot
+give *all* members of a multicast group a high RSS, and the group rate is
+pinned to the weakest member.  Instead, combine the per-user steered weight
+vectors into one multi-lobe beam, weighting each user's component by the
+*other* users' RSS so the weaker link gets the larger share of power:
+
+    w = (Δ2·w1 + Δ1·w2) / (Δ1 + Δ2),        then renormalize ||w|| = 1
+
+(Δi is user i's RSS in linear scale; the renormalization enforces the total
+transmit-power constraint).  For k > 2 the same principle generalizes with
+coefficients proportional to the mean RSS of the *other* members.
+
+Only per-user RSS is needed — not full CSI — matching the paper's point
+that separated users have independent receive chains.  The designer also
+implements the paper's fallback: "when both users have high RSS, we should
+directly use the default common beam".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import VerticalCylinder
+from .channel import Channel
+from .codebook import Beam, Codebook
+
+__all__ = [
+    "combine_weights",
+    "best_unicast_beam",
+    "best_common_beam",
+    "MulticastBeamDesign",
+    "design_multicast_beam",
+]
+
+
+def combine_weights(
+    weight_vectors: list[np.ndarray], rss_dbm: list[float]
+) -> np.ndarray:
+    """Combine per-user beams into one multi-lobe beam (power-normalized).
+
+    Implements the paper's rule for two users and its natural k-user
+    generalization: coefficient of user i's beam is the average linear RSS
+    of the *other* users, so power flows toward the weaker links.
+    """
+    if len(weight_vectors) != len(rss_dbm):
+        raise ValueError("need one RSS per weight vector")
+    if not weight_vectors:
+        raise ValueError("need at least one weight vector")
+    if len(weight_vectors) == 1:
+        w = np.asarray(weight_vectors[0], dtype=np.complex128)
+        return w / np.linalg.norm(w)
+
+    linear = np.array([10.0 ** (r / 10.0) for r in rss_dbm], dtype=np.float64)
+    if np.any(~np.isfinite(linear)):
+        raise ValueError("RSS values must be finite")
+    total = float(linear.sum())
+    k = len(linear)
+    combined = np.zeros_like(
+        np.asarray(weight_vectors[0], dtype=np.complex128)
+    )
+    for w, own in zip(weight_vectors, linear):
+        coeff = (total - own) / (k - 1)  # mean RSS of the other users
+        combined = combined + coeff * np.asarray(w, dtype=np.complex128)
+    norm = np.linalg.norm(combined)
+    if norm < 1e-15:
+        raise ValueError("combined beam is degenerate (opposing weights)")
+    return combined / norm
+
+
+def best_unicast_beam(
+    channel: Channel,
+    codebook: Codebook,
+    rx_position: np.ndarray,
+    bodies: tuple[VerticalCylinder, ...] = (),
+) -> tuple[Beam, float]:
+    """Exhaustive sector sweep: the codebook beam with the highest RSS."""
+    weight_matrix = np.stack([beam.weights for beam in codebook])
+    rss = channel.rss_matrix_dbm(weight_matrix, rx_position, bodies)
+    best = int(np.argmax(rss))
+    return codebook[best], float(rss[best])
+
+
+def best_common_beam(
+    channel: Channel,
+    codebook: Codebook,
+    rx_positions: list[np.ndarray],
+    bodies: tuple[VerticalCylinder, ...] = (),
+) -> tuple[Beam, float]:
+    """The default-codebook multicast beam: maximize the group-minimum RSS.
+
+    This is the best a commodity codebook can do for a group, and is what
+    Fig. 3b evaluates.
+    """
+    if not rx_positions:
+        raise ValueError("need at least one receiver")
+    weight_matrix = np.stack([beam.weights for beam in codebook])
+    per_user = np.stack(
+        [channel.rss_matrix_dbm(weight_matrix, pos, bodies) for pos in rx_positions]
+    )  # (U, B)
+    group_min = per_user.min(axis=0)
+    best = int(np.argmax(group_min))
+    return codebook[best], float(group_min[best])
+
+
+@dataclass(frozen=True)
+class MulticastBeamDesign:
+    """Outcome of designing a beam for one multicast group."""
+
+    strategy: str  # "default-common" or "multi-lobe"
+    weights: np.ndarray
+    per_user_rss_dbm: tuple[float, ...]
+
+    @property
+    def common_rss_dbm(self) -> float:
+        """The group's operating RSS: the minimum over members."""
+        return min(self.per_user_rss_dbm)
+
+
+def design_multicast_beam(
+    channel: Channel,
+    codebook: Codebook,
+    rx_positions: list[np.ndarray],
+    bodies: tuple[VerticalCylinder, ...] = (),
+    high_rss_dbm: float = -56.0,
+) -> MulticastBeamDesign:
+    """Design the transmit beam for a multicast group (paper §4.2).
+
+    1. Sweep the default codebook for the best common beam.  If it already
+       gives every member a high RSS (>= ``high_rss_dbm``, i.e. near-top
+       MCS), use it — custom lobes cannot help much and single-lobe beams
+       are more robust.
+    2. Otherwise, synthesize a multi-lobe beam from the members' individual
+       best beams, weighted by RSS (see :func:`combine_weights`), and keep
+       whichever of the two candidates has the higher common RSS.
+    """
+    common_beam, common_min = best_common_beam(channel, codebook, rx_positions, bodies)
+    common_rss = tuple(
+        channel.rss_dbm(common_beam.weights, pos, bodies) for pos in rx_positions
+    )
+    if common_min >= high_rss_dbm or len(rx_positions) == 1:
+        return MulticastBeamDesign(
+            strategy="default-common",
+            weights=common_beam.weights,
+            per_user_rss_dbm=common_rss,
+        )
+
+    per_user = [
+        best_unicast_beam(channel, codebook, pos, bodies) for pos in rx_positions
+    ]
+    combined = combine_weights(
+        [beam.weights for beam, _ in per_user], [rss for _, rss in per_user]
+    )
+    combined_rss = tuple(
+        channel.rss_dbm(combined, pos, bodies) for pos in rx_positions
+    )
+    if min(combined_rss) > common_min:
+        return MulticastBeamDesign(
+            strategy="multi-lobe",
+            weights=combined,
+            per_user_rss_dbm=combined_rss,
+        )
+    return MulticastBeamDesign(
+        strategy="default-common",
+        weights=common_beam.weights,
+        per_user_rss_dbm=common_rss,
+    )

@@ -1,0 +1,150 @@
+"""Human blockage modeling and beam re-search latency.
+
+In multi-user sessions the users themselves are the blockers: one viewer
+walking between the AP and another viewer attenuates — sometimes outright
+drops — the victim's mmWave link.  This module turns user positions into
+body cylinders, computes per-link blockage timelines over a study, and
+models the sector re-search delay the paper cites (5-20 ms) for reactive
+recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import Segment, VerticalCylinder
+from ..traces import UserStudy
+
+__all__ = [
+    "HumanBody",
+    "bodies_from_positions",
+    "link_blockers",
+    "BlockageTimeline",
+    "compute_blockage_timeline",
+    "BeamSearchLatency",
+]
+
+# Standard human-blocker abstraction: torso-width cylinder, standing height.
+BODY_RADIUS_M = 0.22
+BODY_HEIGHT_M = 1.75
+
+
+def HumanBody(center_xy: np.ndarray, radius: float = BODY_RADIUS_M,
+              height: float = BODY_HEIGHT_M) -> VerticalCylinder:
+    """A human blocker as a vertical cylinder at ``center_xy``."""
+    return VerticalCylinder(
+        center_xy=np.asarray(center_xy, dtype=np.float64),
+        radius=radius,
+        height=height,
+    )
+
+
+def bodies_from_positions(
+    positions: np.ndarray,
+    exclude: int | None = None,
+    radius: float = BODY_RADIUS_M,
+) -> tuple[VerticalCylinder, ...]:
+    """Body cylinders for all users, optionally excluding the receiver.
+
+    ``positions`` is ``(num_users, 3)`` head positions; the cylinder stands
+    under each head.  The receiving user's own body is excluded because the
+    device is held/worn in front of the body, not behind it.  ``radius``
+    can be inflated by forecasting code to absorb position-prediction error.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    bodies = []
+    for i, pos in enumerate(positions):
+        if exclude is not None and i == exclude:
+            continue
+        bodies.append(HumanBody(pos[:2], radius=radius))
+    return tuple(bodies)
+
+
+def link_blockers(
+    ap_position: np.ndarray,
+    rx_position: np.ndarray,
+    bodies: tuple[VerticalCylinder, ...],
+) -> list[int]:
+    """Indices of bodies intersecting the LoS segment AP -> RX."""
+    seg = Segment(np.asarray(ap_position), np.asarray(rx_position))
+    return [i for i, body in enumerate(bodies) if body.blocks(seg)]
+
+
+@dataclass(frozen=True)
+class BlockageTimeline:
+    """Per-user, per-sample LoS blockage over a study session.
+
+    ``blocked`` has shape ``(num_users, num_samples)`` and is True when at
+    least one other user's body crosses the user's LoS to the AP.
+    """
+
+    blocked: np.ndarray
+    rate_hz: float
+
+    @property
+    def num_users(self) -> int:
+        return self.blocked.shape[0]
+
+    @property
+    def num_samples(self) -> int:
+        return self.blocked.shape[1]
+
+    def blockage_fraction(self, user: int) -> float:
+        """Fraction of the session this user's LoS is blocked."""
+        return float(np.mean(self.blocked[user]))
+
+    def events(self, user: int) -> list[tuple[int, int]]:
+        """Maximal blocked intervals ``[start, end)`` in sample indices."""
+        row = self.blocked[user]
+        events = []
+        start = None
+        for i, b in enumerate(row):
+            if b and start is None:
+                start = i
+            elif not b and start is not None:
+                events.append((start, i))
+                start = None
+        if start is not None:
+            events.append((start, len(row)))
+        return events
+
+    def onset_samples(self, user: int) -> list[int]:
+        """Sample indices where a blockage event begins."""
+        return [start for start, _ in self.events(user)]
+
+
+def compute_blockage_timeline(
+    study: UserStudy, ap_position: np.ndarray
+) -> BlockageTimeline:
+    """LoS blockage of every user by every *other* user over the session."""
+    ap = np.asarray(ap_position, dtype=np.float64)
+    n_users = len(study)
+    n_samples = study.num_samples
+    blocked = np.zeros((n_users, n_samples), dtype=bool)
+    for s in range(n_samples):
+        positions = study.positions_at(s)
+        for u in range(n_users):
+            bodies = bodies_from_positions(positions, exclude=u)
+            blocked[u, s] = bool(link_blockers(ap, positions[u], bodies))
+    return BlockageTimeline(blocked=blocked, rate_hz=study.rate_hz)
+
+
+@dataclass(frozen=True)
+class BeamSearchLatency:
+    """Reactive sector re-search delay after an unanticipated blockage.
+
+    "Reinitiating beam searching to find new beams ... will cause a delay of
+    up to 5 to 20 ms" (paper §4.1).  Sampled uniformly in that range; the
+    proactive mitigation scheme avoids this delay entirely by switching to a
+    predicted reflection beam before the blocker arrives.
+    """
+
+    min_s: float = 0.005
+    max_s: float = 0.020
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.min_s > self.max_s:
+            raise ValueError("min_s must be <= max_s")
+        return float(rng.uniform(self.min_s, self.max_s))

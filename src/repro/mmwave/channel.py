@@ -1,0 +1,225 @@
+"""60 GHz link budget and the end-to-end channel model.
+
+Combines the phased-array pattern, the room ray tracer, and human blockage
+into a single query: *what RSS does this weight vector deliver to this
+receiver?*  Per-path received power is
+
+    P_rx = P_tx + G_tx(departure) + G_rx - FSPL(length) - extra_losses,
+
+and paths add non-coherently (in linear power) — appropriate for a
+wide-band 802.11ad signal whose multipath components are resolvable.
+
+Calibration: with the default 32-element array (~20 dBi peak), 10 dBm TX
+power and a 5 dBi receive antenna, a boresight user at 3 m sees ~-43 dBm —
+deep in MCS 12 territory, reproducing the paper's 1270 Mbps single-user
+operating point; the far corner of the default 8x10 m room sits near the
+MCS 10-12 boundary, and misaligned/multicast beams fall into the -78..-57
+dBm range of the paper's Fig. 3b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import VerticalCylinder, azimuth_elevation
+from .array import PhasedArray, WAVELENGTH_M
+from .mcs import McsEntry, app_rate_mbps, mcs_for_rss, phy_rate_mbps
+from .raytrace import Room, trace_paths
+
+__all__ = ["LinkBudget", "AccessPoint", "Channel"]
+
+
+def fspl_db(distance_m: float) -> float:
+    """Free-space path loss at 60 GHz (about 68 dB at 1 m)."""
+    d = max(distance_m, 0.01)
+    return float(20.0 * np.log10(4.0 * np.pi * d / WAVELENGTH_M))
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Radio constants of the modeled 802.11ad link."""
+
+    tx_power_dbm: float = 10.0
+    rx_gain_dbi: float = 5.0  # quasi-omni receive pattern on the client
+    reflection_loss_db: float = 8.0
+    blockage_loss_db: float = 22.0  # per intersected human body
+    outage_rss_dbm: float = -78.0  # below this the link is considered down
+    # Fixed losses not captured by the geometric model (RF front-end,
+    # polarization mismatch, splitter/feed losses).  The Fig. 3 measurement
+    # setup is calibrated with 15 dB so the best-beam RSS distribution spans
+    # the paper's -78..-57 dBm range; the default 0 keeps the pristine
+    # link budget for unit-level physics tests.
+    implementation_loss_db: float = 0.0
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """AP placement: array position and boresight azimuth (world frame).
+
+    The array is wall-mounted at ``position`` with boresight ``boresight_az``
+    (rotation around Z); steering angles in codebooks are relative to this
+    boresight.
+    """
+
+    position: np.ndarray
+    boresight_az: float = 0.0
+    array: PhasedArray = field(default_factory=PhasedArray)
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.position, dtype=np.float64)
+        if p.shape != (3,):
+            raise ValueError("AP position must be a 3-vector")
+        object.__setattr__(self, "position", p)
+
+    def direction_to_array_frame(self, direction: np.ndarray) -> tuple[float, float]:
+        """World direction -> (az, el) relative to the array boresight."""
+        az, el = azimuth_elevation(direction)
+        rel_az = az - self.boresight_az
+        # Wrap into [-pi, pi).
+        rel_az = float((rel_az + np.pi) % (2.0 * np.pi) - np.pi)
+        return rel_az, el
+
+    def steering_to(self, point: np.ndarray) -> tuple[float, float]:
+        """Steering angles that point the boresight-relative beam at ``point``."""
+        return self.direction_to_array_frame(
+            np.asarray(point, dtype=np.float64) - self.position
+        )
+
+
+@dataclass
+class Channel:
+    """The full downlink channel: AP + room + link budget."""
+
+    ap: AccessPoint
+    room: Room = field(default_factory=Room)
+    budget: LinkBudget = field(default_factory=LinkBudget)
+
+    def paths_to(
+        self, rx_position: np.ndarray, bodies: tuple[VerticalCylinder, ...] = ()
+    ):
+        """Propagation paths from the AP to a receiver position."""
+        return trace_paths(
+            self.ap.position,
+            np.asarray(rx_position, dtype=np.float64),
+            self.room,
+            bodies=bodies,
+            reflection_loss_db=self.budget.reflection_loss_db,
+            blockage_loss_db=self.budget.blockage_loss_db,
+        )
+
+    def rss_dbm(
+        self,
+        weights: np.ndarray,
+        rx_position: np.ndarray,
+        bodies: tuple[VerticalCylinder, ...] = (),
+    ) -> float:
+        """Received signal strength for a TX weight vector at a position."""
+        total_mw = 0.0
+        for path in self.paths_to(rx_position, bodies):
+            az, el = self.ap.direction_to_array_frame(path.departure)
+            g_tx = self.ap.array.gain_dbi(weights, az, el)
+            p = (
+                self.budget.tx_power_dbm
+                + g_tx
+                + self.budget.rx_gain_dbi
+                - fspl_db(path.length_m)
+                - path.extra_loss_db
+                - self.budget.implementation_loss_db
+            )
+            total_mw += 10.0 ** (p / 10.0)
+        if total_mw <= 0.0:
+            return -np.inf
+        return float(10.0 * np.log10(total_mw))
+
+    def rss_matrix_dbm(
+        self,
+        weight_matrix: np.ndarray,
+        rx_position: np.ndarray,
+        bodies: tuple[VerticalCylinder, ...] = (),
+    ) -> np.ndarray:
+        """RSS of many candidate weight vectors at once, shape ``(B,)``.
+
+        The codebook sweeps in Fig. 3 evaluate every beam against every
+        user; this vectorized path computes all beam gains toward each
+        propagation path with one matrix product instead of per-beam loops.
+        """
+        weight_matrix = np.asarray(weight_matrix, dtype=np.complex128)
+        if weight_matrix.ndim != 2:
+            raise ValueError("weight_matrix must be (B, N)")
+        paths = self.paths_to(rx_position, bodies)
+        azs = np.empty(len(paths))
+        els = np.empty(len(paths))
+        consts = np.empty(len(paths))
+        for i, path in enumerate(paths):
+            azs[i], els[i] = self.ap.direction_to_array_frame(path.departure)
+            consts[i] = (
+                self.budget.tx_power_dbm
+                + self.budget.rx_gain_dbi
+                - fspl_db(path.length_m)
+                - path.extra_loss_db
+                - self.budget.implementation_loss_db
+            )
+        steer = self.ap.array.steering_vectors(azs, els)  # (P, N)
+        af = np.abs(steer @ weight_matrix.T) ** 2  # (P, B), factor |a^T w|^2
+        norms = np.maximum(
+            np.sum(np.abs(weight_matrix) ** 2, axis=1), 1e-15
+        )  # (B,)
+        gains_db = 10.0 * np.log10(np.maximum(af / norms[None, :], 1e-12))
+        gains_db += self.ap.array.element_gain_dbi
+        per_path_dbm = consts[:, None] + gains_db  # (P, B)
+        total_mw = np.sum(10.0 ** (per_path_dbm / 10.0), axis=0)
+        with np.errstate(divide="ignore"):
+            return 10.0 * np.log10(np.maximum(total_mw, 1e-30))
+
+    def best_path_rss_dbm(
+        self,
+        weights: np.ndarray,
+        rx_position: np.ndarray,
+        bodies: tuple[VerticalCylinder, ...] = (),
+    ) -> tuple[float, str]:
+        """RSS and kind of the single strongest path (for beam diagnostics)."""
+        best = (-np.inf, "none")
+        for path in self.paths_to(rx_position, bodies):
+            az, el = self.ap.direction_to_array_frame(path.departure)
+            g_tx = self.ap.array.gain_dbi(weights, az, el)
+            p = (
+                self.budget.tx_power_dbm
+                + g_tx
+                + self.budget.rx_gain_dbi
+                - fspl_db(path.length_m)
+                - path.extra_loss_db
+                - self.budget.implementation_loss_db
+            )
+            if p > best[0]:
+                best = (p, path.kind)
+        return best
+
+    # -- rate shortcuts ------------------------------------------------------
+
+    def mcs(
+        self,
+        weights: np.ndarray,
+        rx_position: np.ndarray,
+        bodies: tuple[VerticalCylinder, ...] = (),
+    ) -> McsEntry | None:
+        rss = self.rss_dbm(weights, rx_position, bodies)
+        if rss < self.budget.outage_rss_dbm:
+            return None
+        return mcs_for_rss(rss)
+
+    def phy_rate_mbps(self, weights, rx_position, bodies=()) -> float:
+        rss = self.rss_dbm(weights, rx_position, bodies)
+        if rss < self.budget.outage_rss_dbm:
+            return 0.0
+        return phy_rate_mbps(rss)
+
+    def app_rate_mbps(self, weights, rx_position, bodies=()) -> float:
+        rss = self.rss_dbm(weights, rx_position, bodies)
+        if rss < self.budget.outage_rss_dbm:
+            return 0.0
+        return app_rate_mbps(rss)
+
+    def in_outage(self, weights, rx_position, bodies=()) -> bool:
+        return self.rss_dbm(weights, rx_position, bodies) < self.budget.outage_rss_dbm

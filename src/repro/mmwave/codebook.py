@@ -1,0 +1,105 @@
+"""Sector beam codebooks — the "default beams" of commercial 802.11ad gear.
+
+Commodity 802.11ad radios pick transmit beams from a fixed codebook of
+single-lobe sectors found by sector sweep.  The paper's Fig. 3b shows these
+default beams cannot cover multi-user multicast groups with high RSS — the
+effect this module lets us reproduce.  A codebook is a grid of conjugate-
+steered beams spanning the array's field of view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .array import PhasedArray
+
+__all__ = ["Beam", "Codebook"]
+
+
+@dataclass(frozen=True)
+class Beam:
+    """One codebook entry: a steered single-lobe beam."""
+
+    beam_id: int
+    weights: np.ndarray
+    steer_az: float
+    steer_el: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "weights", np.asarray(self.weights, dtype=np.complex128)
+        )
+
+
+@dataclass(frozen=True)
+class Codebook:
+    """A sector codebook over the array's angular field of view.
+
+    The default spans azimuth +/-60 degrees in 64 sectors with 3 elevation
+    rows — 192 beams, comparable in angular resolution to commercial
+    802.11ad codebooks.
+    """
+
+    array: PhasedArray
+    az_min: float = np.deg2rad(-60.0)
+    az_max: float = np.deg2rad(60.0)
+    num_az: int = 64
+    elevations: tuple[float, ...] = (
+        np.deg2rad(-12.0),
+        0.0,
+        np.deg2rad(12.0),
+    )
+    # Phase-shifter resolution of the radio.  COTS 802.11ad hardware uses
+    # 2-bit shifters, whose coarse quantization produces the irregular,
+    # high-sidelobe default beams measured on real devices.  ``None`` gives
+    # ideal (continuous-phase) beams for physics unit tests.
+    phase_bits: int | None = 2
+    beams: tuple[Beam, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_az < 2:
+            raise ValueError("need at least two azimuth sectors")
+        if self.az_min >= self.az_max:
+            raise ValueError("need az_min < az_max")
+        azs = np.linspace(self.az_min, self.az_max, self.num_az)
+        beams = []
+        for el in self.elevations:
+            for az in azs:
+                weights = self.array.weights_toward(float(az), float(el))
+                if self.phase_bits is not None:
+                    weights = self.array.quantize_phases(weights, self.phase_bits)
+                beams.append(
+                    Beam(
+                        beam_id=len(beams),
+                        weights=weights,
+                        steer_az=float(az),
+                        steer_el=float(el),
+                    )
+                )
+        object.__setattr__(self, "beams", tuple(beams))
+
+    def __len__(self) -> int:
+        return len(self.beams)
+
+    def __iter__(self):
+        return iter(self.beams)
+
+    def __getitem__(self, beam_id: int) -> Beam:
+        return self.beams[beam_id]
+
+    def nearest_beam(self, az: float, el: float) -> Beam:
+        """The codebook beam steered closest to (az, el)."""
+        best = min(
+            self.beams,
+            key=lambda b: (b.steer_az - az) ** 2 + (b.steer_el - el) ** 2,
+        )
+        return best
+
+    def gains_toward(self, az: float, el: float) -> np.ndarray:
+        """Gain (dBi) of every beam toward one direction, shape ``(len,)``."""
+        out = np.empty(len(self.beams))
+        for i, beam in enumerate(self.beams):
+            out[i] = self.array.gain_dbi(beam.weights, az, el)
+        return out

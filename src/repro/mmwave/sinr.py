@@ -1,0 +1,59 @@
+"""SINR-based rate selection for concurrent mmWave transmissions.
+
+Single-AP experiments select MCS from RSS against receive sensitivities.
+With *multiple APs transmitting concurrently* (the paper's §5 spatial-reuse
+challenge), the limit is the signal-to-interference-plus-noise ratio:
+
+    SINR = P_signal / (P_noise + sum P_interferers).
+
+The noise floor of a 2.16 GHz 802.11ad channel is about
+-174 dBm/Hz + 10 log10(2.16e9) + NF ≈ -74 dBm with a 7 dB noise figure.
+Each MCS's SNR threshold is derived from its receive sensitivity relative
+to that floor, so the SINR path is exactly consistent with the RSS path
+when there is no interference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mcs import MCS_TABLE, McsEntry
+
+__all__ = [
+    "NOISE_FLOOR_DBM",
+    "sinr_db",
+    "mcs_for_sinr",
+    "app_rate_for_sinr_mbps",
+]
+
+# Thermal noise over 2.16 GHz plus a 7 dB receiver noise figure.
+NOISE_FLOOR_DBM = -174.0 + 10.0 * np.log10(2.16e9) + 7.0  # ~ -73.7 dBm
+
+
+def sinr_db(signal_dbm: float, interferer_dbm: list[float]) -> float:
+    """SINR given the signal and each interferer's received power."""
+    noise_mw = 10.0 ** (NOISE_FLOOR_DBM / 10.0)
+    interference_mw = sum(10.0 ** (p / 10.0) for p in interferer_dbm)
+    signal_mw = 10.0 ** (signal_dbm / 10.0)
+    return float(10.0 * np.log10(signal_mw / (noise_mw + interference_mw)))
+
+
+def _snr_threshold_db(entry: McsEntry) -> float:
+    """The SNR an MCS needs, implied by its sensitivity vs. the noise floor."""
+    return entry.sensitivity_dbm - NOISE_FLOOR_DBM
+
+
+def mcs_for_sinr(sinr: float) -> McsEntry | None:
+    """Highest-rate MCS whose SNR threshold the SINR satisfies."""
+    best: McsEntry | None = None
+    for entry in MCS_TABLE:
+        if sinr >= _snr_threshold_db(entry):
+            if best is None or entry.phy_rate_mbps > best.phy_rate_mbps:
+                best = entry
+    return best
+
+
+def app_rate_for_sinr_mbps(sinr: float) -> float:
+    """Application goodput at a SINR (0 in outage)."""
+    entry = mcs_for_sinr(sinr)
+    return entry.app_rate_mbps if entry else 0.0

@@ -1,0 +1,197 @@
+"""A working per-cell point-cloud codec (Draco-style, pure Python).
+
+The rest of the library *models* compression (bytes/point calibrated to the
+paper's bitrates).  This module actually implements the classical pipeline
+those numbers come from, at cell granularity so every cell is independently
+decodable — the property ViVo-style streaming depends on:
+
+1. **quantize** point coordinates to ``quantization_bits`` per axis inside
+   the cell's bounding box (Draco's position quantization);
+2. **order** the quantized points along a Morton (Z-order) curve so that
+   spatially adjacent points become numerically adjacent;
+3. **delta-encode** consecutive Morton codes (small, highly skewed values);
+4. **entropy-code** the varint-packed deltas with DEFLATE.
+
+Decoding inverts the pipeline; the reconstruction error is bounded by the
+quantization step.  At the typical 10-11 bits used for human-scale cells
+the measured output lands in the same ~2-4 bytes/point band as the
+calibrated :class:`~repro.pointcloud.compression.CompressionModel`, which
+ties the model to an executable artifact.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import AABB
+
+__all__ = ["CellCodec", "EncodedCell"]
+
+_MAGIC = b"RPC1"
+
+
+def _part1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of x so there are two zero bits between each."""
+    x = x.astype(np.uint64) & np.uint64(0x1FFFFF)
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def _compact1by2(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_part1by2`."""
+    x = x.astype(np.uint64) & np.uint64(0x1249249249249249)
+    x = (x ^ (x >> np.uint64(2))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x ^ (x >> np.uint64(4))) & np.uint64(0x100F00F00F00F00F)
+    x = (x ^ (x >> np.uint64(8))) & np.uint64(0x1F0000FF0000FF)
+    x = (x ^ (x >> np.uint64(16))) & np.uint64(0x1F00000000FFFF)
+    x = (x ^ (x >> np.uint64(32))) & np.uint64(0x1FFFFF)
+    return x
+
+
+def _morton_encode(ijk: np.ndarray) -> np.ndarray:
+    """Interleave (N, 3) integer coordinates into Morton codes."""
+    return (
+        _part1by2(ijk[:, 0])
+        | (_part1by2(ijk[:, 1]) << np.uint64(1))
+        | (_part1by2(ijk[:, 2]) << np.uint64(2))
+    )
+
+
+def _morton_decode(codes: np.ndarray) -> np.ndarray:
+    out = np.empty((len(codes), 3), dtype=np.uint64)
+    out[:, 0] = _compact1by2(codes)
+    out[:, 1] = _compact1by2(codes >> np.uint64(1))
+    out[:, 2] = _compact1by2(codes >> np.uint64(2))
+    return out
+
+
+def _varint_pack(values: np.ndarray) -> bytes:
+    """LEB128-style varint packing of non-negative integers."""
+    out = bytearray()
+    for v in values:
+        v = int(v)
+        while True:
+            byte = v & 0x7F
+            v >>= 7
+            if v:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def _varint_unpack(data: bytes, count: int) -> np.ndarray:
+    out = np.empty(count, dtype=np.uint64)
+    pos = 0
+    for i in range(count):
+        shift = 0
+        value = 0
+        while True:
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        out[i] = value
+    return out
+
+
+@dataclass(frozen=True)
+class EncodedCell:
+    """One independently decodable compressed cell."""
+
+    payload: bytes
+    num_points: int
+    bounds: AABB
+    quantization_bits: int
+
+    @property
+    def num_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def bytes_per_point(self) -> float:
+        if self.num_points == 0:
+            return 0.0
+        return len(self.payload) / self.num_points
+
+
+@dataclass(frozen=True)
+class CellCodec:
+    """Encoder/decoder for cell payloads.
+
+    ``quantization_bits`` per axis bounds the reconstruction error at
+    ``cell_extent / 2^bits`` (e.g. a 50 cm cell at 10 bits: ~0.5 mm).
+    """
+
+    quantization_bits: int = 10
+    compression_level: int = 6
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.quantization_bits <= 21:
+            raise ValueError("quantization_bits must be in [1, 21]")
+        if not 0 <= self.compression_level <= 9:
+            raise ValueError("compression_level must be in [0, 9]")
+
+    # -- encode -----------------------------------------------------------
+
+    def encode(self, points: np.ndarray, bounds: AABB | None = None) -> EncodedCell:
+        """Compress an ``(N, 3)`` point set into one cell payload."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3 or len(points) == 0:
+            raise ValueError("need a non-empty (N, 3) point array")
+        bounds = bounds or AABB.of_points(points)
+        scale = np.maximum(bounds.size, 1e-12)
+        levels = (1 << self.quantization_bits) - 1
+        ijk = np.clip(
+            np.round((points - bounds.lo) / scale * levels), 0, levels
+        ).astype(np.uint64)
+
+        codes = np.sort(_morton_encode(ijk))
+        deltas = np.empty_like(codes)
+        deltas[0] = codes[0]
+        deltas[1:] = codes[1:] - codes[:-1]
+        raw = _varint_pack(deltas)
+        compressed = zlib.compress(raw, self.compression_level)
+        header = _MAGIC + struct.pack(
+            "<IB6d", len(points), self.quantization_bits, *bounds.lo, *bounds.hi
+        )
+        return EncodedCell(
+            payload=header + compressed,
+            num_points=len(points),
+            bounds=bounds,
+            quantization_bits=self.quantization_bits,
+        )
+
+    # -- decode -----------------------------------------------------------
+
+    def decode(self, cell: EncodedCell | bytes) -> np.ndarray:
+        """Reconstruct the quantized point set, shape ``(N, 3)``."""
+        payload = cell.payload if isinstance(cell, EncodedCell) else cell
+        if payload[:4] != _MAGIC:
+            raise ValueError("not a CellCodec payload")
+        header_size = 4 + struct.calcsize("<IB6d")
+        count, bits, *corners = struct.unpack("<IB6d", payload[4:header_size])
+        lo = np.array(corners[:3])
+        hi = np.array(corners[3:])
+        raw = zlib.decompress(payload[header_size:])
+        deltas = _varint_unpack(raw, count)
+        codes = np.cumsum(deltas.astype(np.uint64))
+        ijk = _morton_decode(codes).astype(np.float64)
+        levels = (1 << bits) - 1
+        return lo + ijk / levels * np.maximum(hi - lo, 1e-12)
+
+    def max_error_m(self, bounds: AABB) -> float:
+        """Worst-case per-axis reconstruction error for a cell."""
+        levels = (1 << self.quantization_bits) - 1
+        return float(np.max(bounds.size) / levels / 2.0)

@@ -1,0 +1,32 @@
+"""Viewport predictor interface.
+
+Predictors consume a short history window of a user's 6DoF trace and emit
+the pose ``horizon_s`` into the future.  The paper notes that individual
+6DoF viewports are predictable "using linear regression or multilayer
+perceptron with high accuracy in real-time" — both are implemented in this
+package — and proposes *joint* multi-user prediction on top (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..traces import Pose, Trace
+
+__all__ = ["ViewportPredictor", "validate_horizon"]
+
+
+@runtime_checkable
+class ViewportPredictor(Protocol):
+    """Anything that can extrapolate a 6DoF trace."""
+
+    def predict(self, history: Trace, horizon_s: float) -> Pose:
+        """Pose expected ``horizon_s`` after the last sample of ``history``."""
+        ...
+
+
+def validate_horizon(horizon_s: float) -> float:
+    """Shared argument check for predictors."""
+    if horizon_s < 0:
+        raise ValueError("horizon_s must be non-negative")
+    return float(horizon_s)

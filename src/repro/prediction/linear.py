@@ -1,0 +1,84 @@
+"""Last-value and linear-regression viewport predictors.
+
+Linear regression over a sliding window is the workhorse single-user 6DoF
+predictor in ViVo and follow-up studies: fit ``value = a + b*t`` per
+coordinate over the last ~0.5-1 s and extrapolate.  Orientation is
+extrapolated in unwrapped Euler space (yaw can cross the ±pi seam, so the
+window is unwrapped before fitting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import Quaternion
+from ..traces import Pose, Trace
+from .base import validate_horizon
+
+__all__ = ["LastValuePredictor", "LinearRegressionPredictor"]
+
+
+@dataclass(frozen=True)
+class LastValuePredictor:
+    """Predicts the future pose to equal the current pose (the baseline)."""
+
+    def predict(self, history: Trace, horizon_s: float) -> Pose:
+        validate_horizon(horizon_s)
+        last = history.pose(len(history) - 1)
+        return Pose(
+            t=last.t + horizon_s, position=last.position, orientation=last.orientation
+        )
+
+
+def _fit_linear(times: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Least-squares ``value = a + b*t`` per column; returns (a, b)."""
+    t = times - times[-1]  # center at the window end for conditioning
+    design = np.stack([np.ones_like(t), t], axis=1)
+    coef, *_ = np.linalg.lstsq(design, values, rcond=None)
+    return coef[0], coef[1]
+
+
+@dataclass(frozen=True)
+class LinearRegressionPredictor:
+    """Windowed linear regression on position and unwrapped Euler angles.
+
+    Attributes:
+        window_s: history length used for the fit (0.5 s at 30 Hz = 15
+            samples, matching prior 6DoF-prediction studies).
+        max_speed_mps: clamp on extrapolated translational speed; guards the
+            regression against glitchy windows.
+    """
+
+    window_s: float = 0.5
+    max_speed_mps: float = 3.0
+
+    def predict(self, history: Trace, horizon_s: float) -> Pose:
+        validate_horizon(horizon_s)
+        n = max(2, int(round(self.window_s * history.rate_hz)))
+        window = history.window(len(history) - 1, n)
+        t_pred = float(window.times[-1]) + horizon_s
+
+        if len(window) < 2:
+            last = window.pose(len(window) - 1)
+            return Pose(t=t_pred, position=last.position, orientation=last.orientation)
+
+        # Position: per-axis linear fit with a speed clamp.
+        a, b = _fit_linear(window.times, window.positions)
+        speed = float(np.linalg.norm(b))
+        if speed > self.max_speed_mps:
+            b = b * (self.max_speed_mps / speed)
+        position = a + b * horizon_s
+
+        # Orientation: fit on unwrapped yaw/pitch/roll.
+        eulers = np.array(
+            [Quaternion.from_array(q).to_euler() for q in window.orientations]
+        )
+        eulers = np.unwrap(eulers, axis=0)
+        ea, eb = _fit_linear(window.times, eulers)
+        yaw, pitch, roll = ea + eb * horizon_s
+        pitch = float(np.clip(pitch, -np.pi / 2 + 1e-6, np.pi / 2 - 1e-6))
+        orientation = Quaternion.from_euler(float(yaw), pitch, float(roll))
+
+        return Pose(t=t_pred, position=position, orientation=orientation)

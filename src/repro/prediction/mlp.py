@@ -1,0 +1,219 @@
+"""A small from-scratch MLP regressor and the MLP viewport predictor.
+
+The paper cites multilayer perceptrons as the stronger single-user 6DoF
+predictor.  No deep-learning stack is available offline, so this module
+implements a compact two-layer MLP in numpy (tanh hidden layer, Adam
+optimizer, standardized inputs/outputs) — plenty for the low-dimensional,
+smooth regression task of pose extrapolation.
+
+The :class:`MlpViewportPredictor` is trained offline on trace data: inputs
+are a flattened history window (positions + Euler angles, expressed
+relative to the window end), targets are the pose delta at the horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import Quaternion
+from ..traces import Pose, Trace
+from .base import validate_horizon
+
+__all__ = ["MlpRegressor", "MlpViewportPredictor"]
+
+
+class MlpRegressor:
+    """Two-layer perceptron trained with Adam on mean-squared error."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        hidden: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if min(input_dim, output_dim, hidden) <= 0:
+            raise ValueError("dimensions must be positive")
+        rng = np.random.default_rng(seed)
+        scale1 = np.sqrt(2.0 / input_dim)
+        scale2 = np.sqrt(2.0 / hidden)
+        self.w1 = rng.normal(scale=scale1, size=(input_dim, hidden))
+        self.b1 = np.zeros(hidden)
+        self.w2 = rng.normal(scale=scale2, size=(hidden, output_dim))
+        self.b2 = np.zeros(output_dim)
+        self._x_mean = np.zeros(input_dim)
+        self._x_std = np.ones(input_dim)
+        self._y_mean = np.zeros(output_dim)
+        self._y_std = np.ones(output_dim)
+        self.trained = False
+
+    # -- forward ----------------------------------------------------------
+
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        h = np.tanh(x @ self.w1 + self.b1)
+        return h, h @ self.w2 + self.b2
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for ``(N, input_dim)`` (or a single row)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        xs = (x - self._x_mean) / self._x_std
+        _, out = self._forward(xs)
+        return out * self._y_std + self._y_mean
+
+    # -- training -----------------------------------------------------------
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 200,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> float:
+        """Train on (x, y); returns the final epoch's mean-squared error."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 2 or len(x) != len(y):
+            raise ValueError("x and y must be aligned 2D arrays")
+        self._x_mean = x.mean(axis=0)
+        self._x_std = np.maximum(x.std(axis=0), 1e-8)
+        self._y_mean = y.mean(axis=0)
+        self._y_std = np.maximum(y.std(axis=0), 1e-8)
+        xs = (x - self._x_mean) / self._x_std
+        ys = (y - self._y_mean) / self._y_std
+
+        rng = np.random.default_rng(seed)
+        params = [self.w1, self.b1, self.w2, self.b2]
+        m = [np.zeros_like(p) for p in params]
+        v = [np.zeros_like(p) for p in params]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        last_mse = float("inf")
+        for _ in range(epochs):
+            order = rng.permutation(len(xs))
+            losses = []
+            for start in range(0, len(xs), batch_size):
+                idx = order[start : start + batch_size]
+                xb, yb = xs[idx], ys[idx]
+                h, out = self._forward(xb)
+                err = out - yb
+                losses.append(float(np.mean(err**2)))
+                n = len(xb)
+                g_w2 = h.T @ err * (2.0 / n)
+                g_b2 = err.mean(axis=0) * 2.0
+                dh = err @ self.w2.T * (1.0 - h**2)
+                g_w1 = xb.T @ dh * (2.0 / n)
+                g_b1 = dh.mean(axis=0) * 2.0
+                grads = [g_w1, g_b1, g_w2, g_b2]
+                step += 1
+                for p, g, mi, vi in zip(params, grads, m, v):
+                    mi *= beta1
+                    mi += (1 - beta1) * g
+                    vi *= beta2
+                    vi += (1 - beta2) * g * g
+                    m_hat = mi / (1 - beta1**step)
+                    v_hat = vi / (1 - beta2**step)
+                    p -= lr * m_hat / (np.sqrt(v_hat) + eps)
+            last_mse = float(np.mean(losses))
+        self.trained = True
+        return last_mse
+
+
+def _window_features(window: Trace) -> np.ndarray:
+    """Flatten a history window relative to its final sample."""
+    ref_pos = window.positions[-1]
+    eulers = np.array(
+        [Quaternion.from_array(q).to_euler() for q in window.orientations]
+    )
+    eulers = np.unwrap(eulers, axis=0)
+    ref_euler = eulers[-1]
+    rel_pos = window.positions - ref_pos
+    rel_euler = eulers - ref_euler
+    return np.concatenate([rel_pos.ravel(), rel_euler.ravel()])
+
+
+@dataclass
+class MlpViewportPredictor:
+    """MLP-based 6DoF predictor; train with :meth:`fit_traces` first."""
+
+    window_samples: int = 15
+    hidden: int = 32
+    seed: int = 0
+    _model: MlpRegressor | None = field(default=None, repr=False)
+    _horizon_s: float = field(default=0.5, repr=False)
+
+    def fit_traces(
+        self,
+        traces: list[Trace],
+        horizon_s: float = 0.5,
+        epochs: int = 60,
+        stride: int = 2,
+    ) -> float:
+        """Train on sliding windows from ``traces``; returns final MSE."""
+        validate_horizon(horizon_s)
+        self._horizon_s = horizon_s
+        xs, ys = [], []
+        for trace in traces:
+            h_samples = int(round(horizon_s * trace.rate_hz))
+            last_start = len(trace) - self.window_samples - h_samples
+            for end in range(self.window_samples - 1, last_start, stride):
+                window = trace.window(end, self.window_samples)
+                future = trace.pose(end + h_samples)
+                feat = _window_features(window)
+                ref_pos = window.positions[-1]
+                ref_euler = np.unwrap(
+                    np.array(
+                        [Quaternion.from_array(q).to_euler()
+                         for q in window.orientations]
+                    ),
+                    axis=0,
+                )[-1]
+                fut_euler = np.array(future.orientation.to_euler())
+                # Unwrap the future yaw relative to the window end.
+                delta_euler = np.arctan2(
+                    np.sin(fut_euler - ref_euler), np.cos(fut_euler - ref_euler)
+                )
+                ys.append(
+                    np.concatenate([future.position - ref_pos, delta_euler])
+                )
+                xs.append(feat)
+        if not xs:
+            raise ValueError("traces too short for the window/horizon")
+        x = np.array(xs)
+        y = np.array(ys)
+        self._model = MlpRegressor(
+            input_dim=x.shape[1], output_dim=y.shape[1],
+            hidden=self.hidden, seed=self.seed,
+        )
+        return self._model.fit(x, y, epochs=epochs, seed=self.seed)
+
+    def predict(self, history: Trace, horizon_s: float) -> Pose:
+        validate_horizon(horizon_s)
+        if self._model is None or not self._model.trained:
+            raise RuntimeError("call fit_traces before predict")
+        window = history.window(len(history) - 1, self.window_samples)
+        if len(window) < self.window_samples:
+            # Too little history: fall back to holding the last pose.
+            last = window.pose(len(window) - 1)
+            return Pose(
+                t=last.t + horizon_s,
+                position=last.position,
+                orientation=last.orientation,
+            )
+        feat = _window_features(window)
+        delta = self._model.predict(feat)[0]
+        # The model was trained at a fixed horizon; scale linearly for others.
+        scale = horizon_s / self._horizon_s if self._horizon_s > 0 else 1.0
+        delta = delta * scale
+        ref = window.pose(len(window) - 1)
+        ref_euler = np.array(ref.orientation.to_euler())
+        yaw, pitch, roll = ref_euler + delta[3:]
+        pitch = float(np.clip(pitch, -np.pi / 2 + 1e-6, np.pi / 2 - 1e-6))
+        return Pose(
+            t=ref.t + horizon_s,
+            position=ref.position + delta[:3],
+            orientation=Quaternion.from_euler(float(yaw), pitch, float(roll)),
+        )

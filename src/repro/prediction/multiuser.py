@@ -1,0 +1,138 @@
+"""Joint multi-user viewport prediction (paper §4.1).
+
+"In multi-user scenarios ... one user's movement may affect the viewport of
+other users."  The joint predictor wraps a per-user base predictor and adds
+two interaction corrections:
+
+* **Collision avoidance**: people do not walk through each other.  When two
+  users' independently predicted positions come closer than a personal-space
+  radius, both predictions are pushed apart along their separation axis —
+  mirroring how real users deflect, which independent extrapolation misses.
+* **Shared attention**: all viewers of the same content exhibit correlated
+  gaze (the basis of the paper's viewport similarity).  The joint model
+  estimates the group's mean gaze point and pulls each user's predicted
+  view direction slightly toward it, damping individual over-extrapolation.
+
+The output feeds both the multicast grouper (predicted visibility maps) and
+the blockage forecaster (predicted body positions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import Quaternion, normalize
+from ..traces import Pose, Trace
+from .base import ViewportPredictor, validate_horizon
+from .linear import LinearRegressionPredictor
+
+__all__ = ["JointPredictionResult", "JointViewportPredictor"]
+
+
+@dataclass(frozen=True)
+class JointPredictionResult:
+    """Predicted poses for every user, aligned with the input trace order."""
+
+    poses: tuple[Pose, ...]
+    independent_poses: tuple[Pose, ...]
+
+    def __len__(self) -> int:
+        return len(self.poses)
+
+    def positions(self) -> np.ndarray:
+        return np.stack([p.position for p in self.poses])
+
+
+@dataclass
+class JointViewportPredictor:
+    """Jointly predict all users' viewports with interaction corrections."""
+
+    base: ViewportPredictor = field(default_factory=LinearRegressionPredictor)
+    personal_space_m: float = 0.6
+    attention_pull: float = 0.25  # 0 disables the shared-attention correction
+    content_center: np.ndarray = field(
+        default_factory=lambda: np.array([0.0, 0.0, 1.1])
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.attention_pull <= 1.0:
+            raise ValueError("attention_pull must be in [0, 1]")
+        if self.personal_space_m < 0:
+            raise ValueError("personal_space_m must be non-negative")
+
+    def predict(
+        self, histories: list[Trace], horizon_s: float
+    ) -> JointPredictionResult:
+        validate_horizon(horizon_s)
+        if not histories:
+            raise ValueError("need at least one user history")
+        independent = [self.base.predict(h, horizon_s) for h in histories]
+        positions = np.stack([p.position for p in independent])
+
+        positions = self._resolve_collisions(positions)
+        poses = self._apply_attention(independent, positions)
+        return JointPredictionResult(
+            poses=tuple(poses), independent_poses=tuple(independent)
+        )
+
+    # -- corrections --------------------------------------------------------
+
+    def _resolve_collisions(self, positions: np.ndarray) -> np.ndarray:
+        """Push pairs of predictions apart to the personal-space radius.
+
+        A few fixed-point iterations suffice — groups are small and the
+        displacement per iteration is bounded.
+        """
+        out = positions.copy()
+        n = len(out)
+        for _ in range(4):
+            moved = False
+            for i in range(n):
+                for j in range(i + 1, n):
+                    delta = out[j, :2] - out[i, :2]
+                    dist = float(np.linalg.norm(delta))
+                    if dist >= self.personal_space_m or dist < 1e-9:
+                        continue
+                    push = 0.5 * (self.personal_space_m - dist)
+                    direction = delta / dist
+                    out[i, :2] -= push * direction
+                    out[j, :2] += push * direction
+                    moved = True
+            if not moved:
+                break
+        return out
+
+    def _apply_attention(
+        self, independent: list[Pose], positions: np.ndarray
+    ) -> list[Pose]:
+        """Blend each view direction toward the group's mean gaze point."""
+        if self.attention_pull <= 0 or len(independent) < 2:
+            return [
+                Pose(t=p.t, position=pos, orientation=p.orientation)
+                for p, pos in zip(independent, positions)
+            ]
+        # Estimate the shared gaze point: average of where each predicted
+        # view ray passes closest to the content axis, approximated by the
+        # content center at each user's gaze height.
+        gaze_points = []
+        for pose, pos in zip(independent, positions):
+            fwd = pose.orientation.forward()
+            to_center = self.content_center - pos
+            depth = max(0.5, float(np.dot(to_center, fwd)))
+            gaze_points.append(pos + depth * fwd)
+        shared = np.mean(gaze_points, axis=0)
+
+        out = []
+        for pose, pos in zip(independent, positions):
+            own_dir = pose.orientation.forward()
+            to_shared = normalize(shared - pos)
+            blended = normalize(
+                (1.0 - self.attention_pull) * own_dir
+                + self.attention_pull * to_shared
+            )
+            out.append(
+                Pose(t=pose.t, position=pos, orientation=Quaternion.look_at(blended))
+            )
+        return out

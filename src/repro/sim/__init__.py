@@ -1,0 +1,5 @@
+"""Minimal discrete-event simulation engine (simpy-like subset)."""
+
+from .engine import Environment, Event, Process, SimulationError, Timeout, all_of
+
+__all__ = ["Environment", "Event", "Process", "SimulationError", "Timeout", "all_of"]

@@ -1,0 +1,103 @@
+"""Trace (de)serialization.
+
+Two formats:
+
+* ``.npz`` — compact binary for whole studies (what the benchmarks cache);
+* ``.json`` — human-readable per-trace format compatible with simple
+  external tooling (one record per 30 Hz sample).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .behavior import AttentionModel
+from .trace import Device, Trace
+from .userstudy import UserStudy
+
+__all__ = ["save_study_npz", "load_study_npz", "trace_to_json", "trace_from_json"]
+
+
+def save_study_npz(study: UserStudy, path: str | Path) -> None:
+    """Save every trace of a study into one ``.npz`` archive."""
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "user_ids": np.array([t.user_id for t in study.traces]),
+        "devices": np.array([t.device.value for t in study.traces]),
+        "rate_hz": np.array([study.rate_hz]),
+        "attention": np.array(
+            [
+                study.attention.amplitude_rad,
+                study.attention.period_s,
+                study.attention.phase,
+            ]
+        ),
+    }
+    for t in study.traces:
+        payload[f"times_{t.user_id}"] = t.times
+        payload[f"pos_{t.user_id}"] = t.positions
+        payload[f"ori_{t.user_id}"] = t.orientations
+    np.savez_compressed(path, **payload)
+
+
+def load_study_npz(path: str | Path) -> UserStudy:
+    """Inverse of :func:`save_study_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        user_ids = data["user_ids"]
+        devices = data["devices"]
+        rate_hz = float(data["rate_hz"][0])
+        a, p, ph = data["attention"]
+        traces = [
+            Trace(
+                user_id=int(uid),
+                device=Device(str(dev)),
+                times=data[f"times_{int(uid)}"],
+                positions=data[f"pos_{int(uid)}"],
+                orientations=data[f"ori_{int(uid)}"],
+                rate_hz=rate_hz,
+            )
+            for uid, dev in zip(user_ids, devices)
+        ]
+    return UserStudy(
+        traces=traces,
+        attention=AttentionModel(
+            amplitude_rad=float(a), period_s=float(p), phase=float(ph)
+        ),
+    )
+
+
+def trace_to_json(trace: Trace) -> str:
+    """Serialize one trace to a JSON string."""
+    doc = {
+        "user_id": trace.user_id,
+        "device": trace.device.value,
+        "rate_hz": trace.rate_hz,
+        "samples": [
+            {
+                "t": float(t),
+                "position": [float(x) for x in pos],
+                "orientation": [float(x) for x in ori],
+            }
+            for t, pos, ori in zip(trace.times, trace.positions, trace.orientations)
+        ],
+    }
+    return json.dumps(doc)
+
+
+def trace_from_json(text: str) -> Trace:
+    """Inverse of :func:`trace_to_json`."""
+    doc = json.loads(text)
+    samples = doc["samples"]
+    if not samples:
+        raise ValueError("trace JSON has no samples")
+    return Trace(
+        user_id=int(doc["user_id"]),
+        device=Device(doc["device"]),
+        times=np.array([s["t"] for s in samples]),
+        positions=np.array([s["position"] for s in samples]),
+        orientations=np.array([s["orientation"] for s in samples]),
+        rate_hz=float(doc["rate_hz"]),
+    )

@@ -1,0 +1,69 @@
+"""6DoF pose: position + orientation at a time instant.
+
+A pose is what the user study logs at 30 Hz — 3DoF translation (X, Y, Z) and
+3DoF rotation (yaw, pitch, roll, stored as a quaternion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import Frustum, Quaternion
+
+__all__ = ["Pose"]
+
+
+@dataclass(frozen=True)
+class Pose:
+    """A timestamped 6DoF viewport pose."""
+
+    t: float
+    position: np.ndarray
+    orientation: Quaternion
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.position, dtype=np.float64)
+        if p.shape != (3,):
+            raise ValueError("position must be a 3-vector")
+        object.__setattr__(self, "position", p)
+
+    def frustum(
+        self,
+        h_fov: float = np.deg2rad(90.0),
+        v_fov: float = np.deg2rad(70.0),
+        near: float = 0.05,
+        far: float = 20.0,
+    ) -> Frustum:
+        """The view frustum of this pose."""
+        return Frustum(
+            position=self.position,
+            orientation=self.orientation,
+            h_fov=h_fov,
+            v_fov=v_fov,
+            near=near,
+            far=far,
+        )
+
+    def interpolate(self, other: "Pose", t: float) -> "Pose":
+        """Pose at absolute time ``t`` between ``self.t`` and ``other.t``.
+
+        Linear in position, slerp in orientation.  ``t`` outside the span
+        extrapolates linearly / clamps rotation, which the predictors rely on.
+        """
+        span = other.t - self.t
+        if abs(span) < 1e-12:
+            return self
+        alpha = (t - self.t) / span
+        pos = self.position + alpha * (other.position - self.position)
+        rot = self.orientation.slerp(other.orientation, float(np.clip(alpha, 0.0, 1.0)))
+        return Pose(t=t, position=pos, orientation=rot)
+
+    def distance_to(self, other: "Pose") -> float:
+        """Positional distance in meters (ignores orientation)."""
+        return float(np.linalg.norm(self.position - other.position))
+
+    def angular_distance_to(self, other: "Pose") -> float:
+        """Orientation difference in radians."""
+        return self.orientation.angle_to(other.orientation)

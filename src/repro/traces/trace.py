@@ -1,0 +1,132 @@
+"""6DoF viewport trace: a user's pose sequence sampled at a fixed rate.
+
+Matches the paper's user-study format: "6DoF viewport trajectories were
+collected for all users at 30 Hz during the viewing sessions."  Internally
+the trace is stored as dense arrays (times, positions, quaternions) so
+predictors and the simulator can slice windows without Python overhead.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..geometry import Quaternion
+from .pose import Pose
+
+__all__ = ["Device", "Trace"]
+
+
+class Device(str, Enum):
+    """Viewing device of a study participant.
+
+    The paper's groups: PH = smartphone, HM = Magic Leap One headset.
+    """
+
+    PHONE = "PH"
+    HEADSET = "HM"
+
+
+class Trace:
+    """A regularly-sampled 6DoF trajectory for one user.
+
+    Attributes:
+        times: ``(N,)`` seconds, uniformly spaced at ``rate_hz``.
+        positions: ``(N, 3)`` meters.
+        orientations: ``(N, 4)`` unit quaternions, scalar-first.
+    """
+
+    def __init__(
+        self,
+        user_id: int,
+        device: Device,
+        times: np.ndarray,
+        positions: np.ndarray,
+        orientations: np.ndarray,
+        rate_hz: float = 30.0,
+    ) -> None:
+        times = np.asarray(times, dtype=np.float64)
+        positions = np.asarray(positions, dtype=np.float64)
+        orientations = np.asarray(orientations, dtype=np.float64)
+        if times.ndim != 1 or len(times) == 0:
+            raise ValueError("times must be a non-empty 1D array")
+        if positions.shape != (len(times), 3):
+            raise ValueError("positions must be (N, 3) aligned with times")
+        if orientations.shape != (len(times), 4):
+            raise ValueError("orientations must be (N, 4) aligned with times")
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        # Normalize quaternions defensively; serialization may lose precision.
+        norms = np.linalg.norm(orientations, axis=1, keepdims=True)
+        if np.any(norms < 1e-9):
+            raise ValueError("zero-norm quaternion in trace")
+        self.user_id = int(user_id)
+        self.device = Device(device)
+        self.times = times
+        self.positions = positions
+        self.orientations = orientations / norms
+        self.rate_hz = float(rate_hz)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1] - self.times[0])
+
+    def pose(self, index: int) -> Pose:
+        """Pose at sample ``index`` (negative indices allowed)."""
+        return Pose(
+            t=float(self.times[index]),
+            position=self.positions[index],
+            orientation=Quaternion.from_array(self.orientations[index]),
+        )
+
+    def pose_at(self, t: float) -> Pose:
+        """Pose at arbitrary time ``t`` by interpolation (clamped at ends)."""
+        if t <= self.times[0]:
+            return self.pose(0)
+        if t >= self.times[-1]:
+            return self.pose(len(self) - 1)
+        hi = int(np.searchsorted(self.times, t))
+        lo = hi - 1
+        return self.pose(lo).interpolate(self.pose(hi), t)
+
+    def index_at(self, t: float) -> int:
+        """Nearest sample index for time ``t`` (clamped)."""
+        idx = int(round((t - self.times[0]) * self.rate_hz))
+        return max(0, min(idx, len(self) - 1))
+
+    def window(self, end_index: int, length: int) -> "Trace":
+        """The ``length`` samples ending at ``end_index`` (inclusive).
+
+        Predictors use this as their history window; it clamps at the start
+        of the trace rather than raising.
+        """
+        end = max(0, min(end_index, len(self) - 1))
+        start = max(0, end - length + 1)
+        return Trace(
+            user_id=self.user_id,
+            device=self.device,
+            times=self.times[start : end + 1],
+            positions=self.positions[start : end + 1],
+            orientations=self.orientations[start : end + 1],
+            rate_hz=self.rate_hz,
+        )
+
+    def velocities(self) -> np.ndarray:
+        """Finite-difference translational velocity, shape ``(N, 3)`` m/s."""
+        if len(self) == 1:
+            return np.zeros((1, 3))
+        v = np.gradient(self.positions, self.times, axis=0)
+        return v
+
+    def mean_speed(self) -> float:
+        """Average translational speed in m/s (a mobility statistic)."""
+        return float(np.mean(np.linalg.norm(self.velocities(), axis=1)))
+
+    def position_spread(self) -> float:
+        """RMS distance from the mean position — how much the user roams."""
+        centered = self.positions - self.positions.mean(axis=0)
+        return float(np.sqrt(np.mean(np.sum(centered**2, axis=1))))

@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic videos, studies, channels.
+
+Everything here is session-scoped and deliberately small so the full suite
+stays fast; experiment-scale sweeps live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mmwave import AccessPoint, Channel, Codebook, LinkBudget, Room
+from repro.pointcloud import CellGrid, synthesize_video
+from repro.traces import generate_user_study
+
+
+@pytest.fixture(scope="session")
+def small_video():
+    """30-frame synthetic video, 3000 points/frame, 550K nominal."""
+    return synthesize_video("high", num_frames=30, points_per_frame=3000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """6 users, 4 seconds, content at the origin."""
+    return generate_user_study(num_users=6, duration_s=4.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def room_study():
+    """4 users orbiting the room center (for channel-coupled tests)."""
+    return generate_user_study(
+        num_users=4,
+        duration_s=4.0,
+        seed=11,
+        content_center=np.array([4.0, 5.0, 0.0]),
+    )
+
+
+@pytest.fixture(scope="session")
+def grid_50cm(small_video):
+    return CellGrid.covering(small_video.bounds, 0.5, margin=0.05)
+
+
+@pytest.fixture(scope="session")
+def ap():
+    return AccessPoint(position=np.array([4.0, 0.3, 2.0]), boresight_az=np.pi / 2)
+
+
+@pytest.fixture(scope="session")
+def channel(ap):
+    return Channel(ap=ap, room=Room(8.0, 10.0, 3.0))
+
+
+@pytest.fixture(scope="session")
+def lossy_channel(ap):
+    """Channel with the Fig. 3 calibration losses."""
+    budget = LinkBudget(
+        implementation_loss_db=8.0, reflection_loss_db=9.0, blockage_loss_db=12.0
+    )
+    return Channel(ap=ap, room=Room(8.0, 10.0, 3.0), budget=budget)
+
+
+@pytest.fixture(scope="session")
+def small_codebook(ap):
+    """A reduced codebook (16 az x 1 el) to keep sweeps cheap."""
+    return Codebook(ap.array, num_az=16, elevations=(0.0,))
+
+
+@pytest.fixture(scope="session")
+def ideal_small_codebook(ap):
+    return Codebook(ap.array, num_az=16, elevations=(0.0,), phase_bits=None)

@@ -1,0 +1,140 @@
+"""Rate-adaptation policy tests."""
+
+import pytest
+
+from repro.core import (
+    AdaptationDecision,
+    AdaptationInputs,
+    BufferPolicy,
+    CrossLayerPolicy,
+    FixedQualityPolicy,
+    ThroughputPolicy,
+    quality_below,
+)
+
+
+def inputs(**kwargs):
+    defaults = dict(
+        user_id=0,
+        buffer_level_s=2.0,
+        observed_throughput_mbps=400.0,
+        current_quality="high",
+        visible_fraction=1.0,
+    )
+    defaults.update(kwargs)
+    return AdaptationInputs(**defaults)
+
+
+def test_quality_below():
+    assert quality_below("high") == "medium"
+    assert quality_below("medium") == "low"
+    assert quality_below("low") == "low"
+
+
+def test_decision_validation():
+    with pytest.raises(ValueError):
+        AdaptationDecision(quality="ultra")
+    with pytest.raises(ValueError):
+        AdaptationDecision(quality="high", prefetch_extra_frames=-1)
+
+
+def test_fixed_policy():
+    policy = FixedQualityPolicy("medium")
+    assert policy.decide(inputs()).quality == "medium"
+    with pytest.raises(ValueError):
+        FixedQualityPolicy("nope")
+
+
+def test_throughput_policy_picks_affordable_quality():
+    policy = ThroughputPolicy(safety=1.0)
+    # 400 Mbps affords "high" (364); 300 affords only "medium" (294).
+    assert policy.decide(inputs(observed_throughput_mbps=400.0)).quality == "high"
+    p2 = ThroughputPolicy(safety=1.0)
+    assert p2.decide(inputs(observed_throughput_mbps=300.0)).quality == "medium"
+    p3 = ThroughputPolicy(safety=1.0)
+    assert p3.decide(inputs(observed_throughput_mbps=100.0)).quality == "low"
+
+
+def test_throughput_policy_uses_visible_fraction():
+    """ViVo savings let a lower rate afford a higher quality."""
+    p = ThroughputPolicy(safety=1.0)
+    decision = p.decide(
+        inputs(observed_throughput_mbps=250.0, visible_fraction=0.6)
+    )
+    assert decision.quality == "high"  # 364 * 0.6 = 218 <= 250
+
+
+def test_throughput_policy_per_user_state():
+    p = ThroughputPolicy(safety=1.0)
+    p.decide(inputs(user_id=0, observed_throughput_mbps=400.0))
+    d1 = p.decide(inputs(user_id=1, observed_throughput_mbps=100.0))
+    assert d1.quality == "low"  # user 1's EWMA is independent of user 0's
+
+
+def test_buffer_policy_ladder():
+    policy = BufferPolicy(reservoir_s=0.5, cushion_s=2.0)
+    assert policy.decide(inputs(buffer_level_s=0.2)).quality == "low"
+    assert policy.decide(inputs(buffer_level_s=1.0)).quality == "medium"
+    assert policy.decide(inputs(buffer_level_s=3.0)).quality == "high"
+
+
+def test_buffer_policy_validation():
+    with pytest.raises(ValueError):
+        BufferPolicy(reservoir_s=2.0, cushion_s=1.0)
+
+
+def test_crosslayer_policy_prefetches_on_blockage_warning():
+    policy = CrossLayerPolicy()
+    calm = policy.decide(inputs(rss_dbm=-45.0))
+    assert calm.prefetch_extra_frames == 0
+    assert not calm.request_regroup
+    warned = policy.decide(inputs(rss_dbm=-45.0, blockage_predicted=True))
+    assert warned.prefetch_extra_frames > 0
+    assert warned.request_regroup
+
+
+def test_crosslayer_policy_downgrades_on_low_rss():
+    policy = CrossLayerPolicy(safety=1.0)
+    good = policy.decide(inputs(rss_dbm=-45.0, observed_throughput_mbps=1000.0))
+    assert good.quality == "high"
+    policy2 = CrossLayerPolicy(safety=1.0)
+    bad = policy2.decide(inputs(rss_dbm=-68.0, observed_throughput_mbps=1000.0))
+    assert bad.quality == "low"
+
+
+def test_crosslayer_policy_respects_empty_buffer():
+    # At -62 dBm the PHY cap is ~327 Mbps; an empty buffer halves the
+    # budget to ~163 Mbps -> only "low" is affordable.
+    policy = CrossLayerPolicy(safety=1.0)
+    decision = policy.decide(
+        inputs(rss_dbm=-62.0, buffer_level_s=0.0, observed_throughput_mbps=400.0)
+    )
+    assert decision.quality == "low"
+    # The same link with a comfortable buffer affords "medium".
+    policy2 = CrossLayerPolicy(safety=1.0)
+    relaxed = policy2.decide(
+        inputs(rss_dbm=-62.0, buffer_level_s=5.0, observed_throughput_mbps=400.0)
+    )
+    assert relaxed.quality in ("medium", "high")
+
+
+def test_crosslayer_validation():
+    with pytest.raises(ValueError):
+        CrossLayerPolicy(safety=0.0)
+    with pytest.raises(ValueError):
+        CrossLayerPolicy(prefetch_on_blockage_frames=-5)
+
+
+def test_proactive_prefetch_policy():
+    from repro.core import ProactivePrefetchPolicy
+
+    policy = ProactivePrefetchPolicy(quality="medium", prefetch_frames=12)
+    calm = policy.decide(inputs())
+    assert calm.quality == "medium"
+    assert calm.prefetch_extra_frames == 0
+    warned = policy.decide(inputs(blockage_predicted=True))
+    assert warned.prefetch_extra_frames == 12
+    with pytest.raises(ValueError):
+        ProactivePrefetchPolicy(quality="nope")
+    with pytest.raises(ValueError):
+        ProactivePrefetchPolicy(prefetch_frames=-1)

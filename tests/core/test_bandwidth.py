@@ -1,0 +1,110 @@
+"""Bandwidth predictor tests."""
+
+import pytest
+
+from repro.core import (
+    BufferAwareEstimator,
+    CrossLayerBandwidthPredictor,
+    EwmaThroughputPredictor,
+)
+
+
+def test_ewma_validation():
+    with pytest.raises(ValueError):
+        EwmaThroughputPredictor(alpha=0.0)
+    p = EwmaThroughputPredictor()
+    with pytest.raises(ValueError):
+        p.observe(-1.0)
+
+
+def test_ewma_first_observation_adopted():
+    p = EwmaThroughputPredictor(alpha=0.3)
+    assert p.predict_mbps() == 0.0
+    p.observe(500.0)
+    assert p.predict_mbps() == pytest.approx(500.0)
+
+
+def test_ewma_smooths():
+    p = EwmaThroughputPredictor(alpha=0.5)
+    p.observe(100.0)
+    p.observe(200.0)
+    assert p.predict_mbps() == pytest.approx(150.0)
+
+
+def test_ewma_converges():
+    p = EwmaThroughputPredictor(alpha=0.3)
+    for _ in range(100):
+        p.observe(321.0)
+    assert p.predict_mbps() == pytest.approx(321.0, rel=1e-6)
+
+
+def test_buffer_estimator_validation():
+    with pytest.raises(ValueError):
+        BufferAwareEstimator(target_buffer_s=0.0)
+    with pytest.raises(ValueError):
+        BufferAwareEstimator(min_scale=0.0)
+    be = BufferAwareEstimator()
+    with pytest.raises(ValueError):
+        be.scale(-1.0)
+
+
+def test_buffer_estimator_scaling():
+    be = BufferAwareEstimator(target_buffer_s=2.0, min_scale=0.5)
+    assert be.scale(0.0) == pytest.approx(0.5)
+    assert be.scale(1.0) == pytest.approx(0.75)
+    assert be.scale(2.0) == pytest.approx(1.0)
+    assert be.scale(10.0) == pytest.approx(1.0)  # clamps
+    assert be.estimate_mbps(400.0, 0.0) == pytest.approx(200.0)
+
+
+def test_crosslayer_validation():
+    with pytest.raises(ValueError):
+        CrossLayerBandwidthPredictor(phy_weight=1.5)
+    with pytest.raises(ValueError):
+        CrossLayerBandwidthPredictor(blockage_discount=0.0)
+
+
+def test_crosslayer_phy_only_before_history():
+    p = CrossLayerBandwidthPredictor()
+    # At -40 dBm the PHY supports ~1270 Mbps app throughput.
+    assert p.predict_mbps(rss_dbm=-40.0) == pytest.approx(
+        1270.0 * 0.95, rel=0.02
+    )
+
+
+def test_crosslayer_app_only_without_rss():
+    p = CrossLayerBandwidthPredictor()
+    p.observe_throughput(300.0)
+    assert p.predict_mbps() == pytest.approx(300.0)
+
+
+def test_crosslayer_blend_capped_by_phy():
+    p = CrossLayerBandwidthPredictor(phy_weight=0.5)
+    p.observe_throughput(2000.0)  # app history exaggerates
+    # PHY at -68 dBm supports only ~100 Mbps app rate: cap applies.
+    phy_cap = p.phy_rate_mbps(-68.0)
+    assert p.predict_mbps(rss_dbm=-68.0) == pytest.approx(phy_cap)
+
+
+def test_crosslayer_blockage_discount():
+    p = CrossLayerBandwidthPredictor(blockage_discount=0.5)
+    p.observe_throughput(400.0)
+    clear = p.predict_mbps(rss_dbm=-40.0)
+    warned = p.predict_mbps(rss_dbm=-40.0, blockage_predicted=True)
+    assert warned == pytest.approx(clear * 0.5)
+
+
+def test_crosslayer_reacts_faster_than_ewma():
+    """The cross-layer edge: an RSS cliff shows up before the app average."""
+    ewma = EwmaThroughputPredictor(alpha=0.3)
+    xl = CrossLayerBandwidthPredictor(
+        ewma=EwmaThroughputPredictor(alpha=0.3), phy_weight=0.6
+    )
+    for _ in range(20):
+        ewma.observe(1200.0)
+        xl.observe_throughput(1200.0)
+    # Sudden blockage drops RSS to -70 dBm (outage); app layer hasn't seen
+    # the drop yet.
+    app_only = ewma.predict_mbps()
+    cross = xl.predict_mbps(rss_dbm=-70.0)
+    assert cross < app_only * 0.1

@@ -1,0 +1,69 @@
+"""Property-based tests for multicast grouping invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    exhaustive_grouping,
+    greedy_similarity_grouping,
+    no_grouping,
+)
+from repro.mac import UserDemand
+
+cell_sets = st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=10)
+demand_lists = st.lists(cell_sets, min_size=1, max_size=4)
+rates = st.floats(min_value=50.0, max_value=2000.0)
+
+
+def to_demands(sets, rate):
+    return [
+        UserDemand(i, {c: 1e5 for c in cells}, rate)
+        for i, cells in enumerate(sets)
+    ]
+
+
+@given(demand_lists, rates, rates)
+@settings(max_examples=40, deadline=None)
+def test_greedy_never_worse_than_unicast(sets, rate, mrate):
+    demands = to_demands(sets, rate)
+    rate_fn = lambda members: mrate  # noqa: E731
+    greedy = greedy_similarity_grouping(demands, rate_fn)
+    baseline = no_grouping(demands)
+    assert greedy.total_time_s <= baseline.total_time_s + 1e-12
+
+
+@given(demand_lists, rates, rates)
+@settings(max_examples=25, deadline=None)
+def test_exhaustive_at_least_as_good_as_greedy(sets, rate, mrate):
+    demands = to_demands(sets, rate)
+    rate_fn = lambda members: mrate  # noqa: E731
+    greedy = greedy_similarity_grouping(demands, rate_fn)
+    optimal = exhaustive_grouping(demands, rate_fn)
+    assert optimal.total_time_s <= greedy.total_time_s + 1e-12
+
+
+@given(demand_lists, rates)
+@settings(max_examples=30, deadline=None)
+def test_groups_partition_users(sets, rate):
+    demands = to_demands(sets, rate)
+    rate_fn = lambda members: rate  # noqa: E731
+    result = greedy_similarity_grouping(demands, rate_fn)
+    grouped = [u for g in result.groups for u in g]
+    assert len(grouped) == len(set(grouped))  # no user twice
+    all_users = {d.user_id for d in demands}
+    assert set(grouped) | set(result.plan.solo_users) == all_users
+
+
+@given(demand_lists, rates)
+@settings(max_examples=30, deadline=None)
+def test_plans_have_positive_finite_time(sets, rate):
+    demands = to_demands(sets, rate)
+    rate_fn = lambda members: rate  # noqa: E731
+    for result in (
+        no_grouping(demands),
+        greedy_similarity_grouping(demands, rate_fn),
+    ):
+        t = result.total_time_s
+        assert t > 0.0
+        assert t < 10.0  # bounded workload, sane rates
+        assert 0.0 < result.achievable_fps <= 30.0

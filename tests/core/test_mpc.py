@@ -1,0 +1,95 @@
+"""MPC adaptation policy tests."""
+
+import pytest
+
+from repro.core import MpcPolicy
+from repro.core.adaptation import AdaptationInputs
+
+
+def inputs(**kwargs):
+    defaults = dict(
+        user_id=0,
+        buffer_level_s=2.0,
+        observed_throughput_mbps=400.0,
+        current_quality="high",
+        visible_fraction=1.0,
+    )
+    defaults.update(kwargs)
+    return AdaptationInputs(**defaults)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MpcPolicy(horizon=0)
+    with pytest.raises(ValueError):
+        MpcPolicy(chunk_s=0.0)
+    with pytest.raises(ValueError):
+        MpcPolicy(safety=0.0)
+
+
+def test_no_history_starts_low():
+    policy = MpcPolicy()
+    assert policy.decide(inputs(observed_throughput_mbps=0.0)).quality == "low"
+
+
+def test_ample_bandwidth_goes_high():
+    policy = MpcPolicy()
+    decision = policy.decide(inputs(observed_throughput_mbps=800.0))
+    assert decision.quality == "high"
+
+
+def test_scarce_bandwidth_goes_low():
+    policy = MpcPolicy()
+    decision = policy.decide(
+        inputs(observed_throughput_mbps=120.0, buffer_level_s=0.2)
+    )
+    assert decision.quality == "low"
+
+
+def test_buffer_cushion_allows_temporary_overshoot():
+    """A deep buffer lets MPC hold a quality the bandwidth alone cannot."""
+    scarce = MpcPolicy()
+    starving = scarce.decide(
+        inputs(observed_throughput_mbps=300.0, buffer_level_s=0.0)
+    )
+    cushy = MpcPolicy()
+    comfortable = cushy.decide(
+        inputs(observed_throughput_mbps=300.0, buffer_level_s=6.0)
+    )
+    order = {"low": 0, "medium": 1, "high": 2}
+    assert order[comfortable.quality] >= order[starving.quality]
+
+
+def test_visible_fraction_raises_affordable_quality():
+    tight = MpcPolicy()
+    full = tight.decide(
+        inputs(observed_throughput_mbps=250.0, buffer_level_s=0.5)
+    )
+    vivo = MpcPolicy()
+    culled = vivo.decide(
+        inputs(
+            observed_throughput_mbps=250.0,
+            buffer_level_s=0.5,
+            visible_fraction=0.5,
+        )
+    )
+    order = {"low": 0, "medium": 1, "high": 2}
+    assert order[culled.quality] >= order[full.quality]
+
+
+def test_switch_penalty_discourages_flapping():
+    """With a huge switch penalty, MPC sticks to the current quality."""
+    sticky = MpcPolicy(switch_penalty=10_000.0)
+    decision = sticky.decide(
+        inputs(observed_throughput_mbps=500.0, current_quality="medium")
+    )
+    assert decision.quality == "medium"
+
+
+def test_per_user_state_is_independent():
+    policy = MpcPolicy()
+    policy.decide(inputs(user_id=0, observed_throughput_mbps=800.0))
+    d = policy.decide(
+        inputs(user_id=1, observed_throughput_mbps=100.0, buffer_level_s=0.1)
+    )
+    assert d.quality == "low"

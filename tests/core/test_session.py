@@ -1,0 +1,247 @@
+"""Streaming session simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CapacityRateProvider,
+    FixedQualityPolicy,
+    SessionConfig,
+    StreamingSession,
+    ThroughputPolicy,
+    measure_max_fps,
+)
+from repro.mac import AC_MODEL, AD_MODEL
+from repro.pointcloud import VisibilityConfig
+
+
+def config_for(video, study, model=AD_MODEL, **kwargs):
+    defaults = dict(
+        video=video,
+        study=study,
+        rates=CapacityRateProvider(model=model, num_users=len(study)),
+        visibility=VisibilityConfig.vanilla(),
+        grouping="none",
+        adaptation=FixedQualityPolicy("high"),
+    )
+    defaults.update(kwargs)
+    return SessionConfig(**defaults)
+
+
+def test_config_validation(small_video, small_study):
+    with pytest.raises(ValueError):
+        config_for(small_video, small_study, grouping="magic")
+    with pytest.raises(ValueError):
+        config_for(small_video, small_study, target_fps=0.0)
+    with pytest.raises(ValueError):
+        config_for(small_video, small_study, startup_frames=0)
+
+
+def test_session_length_defaults_to_study(small_video, small_study):
+    cfg = config_for(small_video, small_study)
+    assert cfg.session_length_s == pytest.approx(4.0)
+    assert cfg.num_frames == 120
+
+
+def test_measure_max_fps_unconstrained(small_video, small_study):
+    """Few users on 802.11ad: full 30 FPS (Table 1's top rows)."""
+    study2 = small_study
+    cfg = config_for(small_video, study2)
+    # 6 users vanilla high on ad: paper says 13.2 FPS — constrained.
+    fps = measure_max_fps(cfg, num_frames=15, stride=3)
+    assert np.all(fps > 5.0)
+    assert np.all(fps <= 30.0)
+
+
+def test_measure_max_fps_matches_capacity_model(small_video, small_study):
+    """Vanilla FPS must track the analytic capacity model closely."""
+    cfg = config_for(small_video, small_study)
+    measured = float(np.mean(measure_max_fps(cfg, num_frames=15, stride=3)))
+    analytic = AD_MODEL.max_fps(len(small_study), 364.0)
+    assert measured == pytest.approx(analytic, rel=0.08)
+
+
+def test_vivo_beats_vanilla(small_video, small_study):
+    vanilla = config_for(small_video, small_study)
+    vivo = config_for(
+        small_video, small_study, visibility=VisibilityConfig()
+    )
+    f_vanilla = float(np.mean(measure_max_fps(vanilla, num_frames=15, stride=3)))
+    f_vivo = float(np.mean(measure_max_fps(vivo, num_frames=15, stride=3)))
+    assert f_vivo > f_vanilla
+
+
+def test_ac_slower_than_ad(small_video, small_study):
+    ad = config_for(small_video, small_study, model=AD_MODEL)
+    ac = config_for(small_video, small_study, model=AC_MODEL)
+    f_ad = float(np.mean(measure_max_fps(ad, num_frames=9, stride=3)))
+    f_ac = float(np.mean(measure_max_fps(ac, num_frames=9, stride=3)))
+    assert f_ac < f_ad
+
+
+def test_session_runs_and_reports(small_video, small_study):
+    cfg = config_for(small_video, small_study, visibility=VisibilityConfig())
+    report = StreamingSession(cfg).run()
+    assert len(report.users) == len(small_study)
+    summary = report.summary()
+    assert summary["mean_fps"] > 0
+    for user in report.users:
+        assert user.frames_played > 0
+
+
+def test_unconstrained_session_has_no_stalls(small_video):
+    """2 users on 802.11ad with ViVo must stream stall-free."""
+    from repro.traces import generate_user_study
+
+    study = generate_user_study(num_users=2, duration_s=4.0, seed=11)
+    cfg = config_for(small_video, study, visibility=VisibilityConfig())
+    report = StreamingSession(cfg).run()
+    assert report.total_stall_time_s == 0.0
+    assert report.mean_fps > 25.0
+
+
+def test_constrained_session_stalls_or_drops_fps(small_video):
+    """8 vanilla users over 802.11ac cannot keep up."""
+    from repro.traces import generate_user_study
+
+    study = generate_user_study(num_users=8, duration_s=4.0, seed=11)
+    cfg = config_for(small_video, study, model=AC_MODEL)
+    report = StreamingSession(cfg).run()
+    assert report.total_stall_time_s > 0.5 or report.mean_fps < 15.0
+
+
+def test_adaptive_session_switches_quality(small_video):
+    from repro.traces import generate_user_study
+
+    study = generate_user_study(num_users=6, duration_s=4.0, seed=11)
+    cfg = config_for(
+        small_video,
+        study,
+        adaptation=ThroughputPolicy(),
+        visibility=VisibilityConfig(),
+    )
+    report = StreamingSession(cfg).run()
+    # The policy starts conservative and ramps up -> at least one switch.
+    assert report.total_quality_switches >= 1
+    # Adaptation should avoid heavy stalling.
+    fixed = config_for(small_video, study, visibility=VisibilityConfig())
+    fixed_report = StreamingSession(fixed).run()
+    assert report.total_stall_time_s <= fixed_report.total_stall_time_s + 0.5
+
+
+def test_multicast_grouping_in_session(small_video, small_study):
+    cfg_uni = config_for(
+        small_video, small_study, visibility=VisibilityConfig()
+    )
+    cfg_multi = config_for(
+        small_video,
+        small_study,
+        visibility=VisibilityConfig(),
+        grouping="greedy",
+        rates=CapacityRateProvider(model=AD_MODEL, num_users=len(small_study)),
+    )
+    f_uni = float(np.mean(measure_max_fps(cfg_uni, num_frames=12, stride=3)))
+    f_multi = float(np.mean(measure_max_fps(cfg_multi, num_frames=12, stride=3)))
+    assert f_multi >= f_uni - 1e-9
+
+
+def test_deterministic_sessions(small_video, small_study):
+    cfg1 = config_for(small_video, small_study, visibility=VisibilityConfig())
+    cfg2 = config_for(small_video, small_study, visibility=VisibilityConfig())
+    r1 = StreamingSession(cfg1).run().summary()
+    r2 = StreamingSession(cfg2).run().summary()
+    assert r1 == r2
+
+
+def test_beam_switch_overhead_lowers_fps(small_video, small_study):
+    base = config_for(small_video, small_study)
+    slow = config_for(small_video, small_study, beam_switch_overhead_s=0.003)
+    f_base = float(np.mean(measure_max_fps(base, num_frames=9, stride=3)))
+    f_slow = float(np.mean(measure_max_fps(slow, num_frames=9, stride=3)))
+    assert f_slow < f_base
+
+
+def test_octree_partitioner_session(small_video, small_study):
+    """The session runs unchanged on adaptive octree leaves."""
+    cfg = config_for(
+        small_video,
+        small_study,
+        visibility=VisibilityConfig(),
+        partitioner="octree",
+    )
+    report = StreamingSession(cfg).run()
+    assert report.mean_fps > 10.0
+    assert all(u.frames_played > 0 for u in report.users)
+
+
+def test_octree_and_grid_similar_fps(small_video, small_study):
+    """Partitioner choice must not change the big FPS picture."""
+    grid_cfg = config_for(small_video, small_study, visibility=VisibilityConfig())
+    oct_cfg = config_for(
+        small_video, small_study, visibility=VisibilityConfig(),
+        partitioner="octree",
+    )
+    f_grid = float(np.mean(measure_max_fps(grid_cfg, num_frames=9, stride=3)))
+    f_oct = float(np.mean(measure_max_fps(oct_cfg, num_frames=9, stride=3)))
+    assert abs(f_grid - f_oct) < 8.0
+
+
+def test_unknown_partitioner_rejected(small_video, small_study):
+    with pytest.raises(ValueError):
+        config_for(small_video, small_study, partitioner="voxhash")
+
+
+def test_server_skips_outage_users(small_video):
+    """A user in permanent outage must not block the others' streams."""
+    from repro.traces import generate_user_study
+
+    study = generate_user_study(num_users=3, duration_s=3.0, seed=11)
+
+    class OutageRates:
+        def unicast_rate_mbps(self, user_index, sample_index):
+            return 0.0 if user_index == 1 else 1200.0
+
+        def multicast_rate_mbps(self, members, sample_index):
+            return 0.0 if 1 in members else 1200.0
+
+        def rss_dbm(self, user_index, sample_index):
+            return None
+
+    cfg = config_for(
+        small_video, study, visibility=VisibilityConfig(), rates=OutageRates()
+    )
+    report = StreamingSession(cfg).run()
+    # Healthy users stream; the dead-link user plays nothing.
+    assert report.users[0].frames_played > 30
+    assert report.users[2].frames_played > 30
+    assert report.users[1].frames_played == 0
+    assert report.users[1].stall_time_s == 0.0  # never started playing
+
+
+def test_session_time_always_advances_on_empty_demands(small_video):
+    """Zero-byte frames must not freeze the event loop (regression)."""
+    from repro.traces import generate_user_study
+
+    study = generate_user_study(num_users=2, duration_s=2.0, seed=11)
+
+    class EmptyDemandPredictor:
+        def predict(self, history, horizon_s):
+            # Always look straight up: nothing visible, empty demands.
+            from repro.geometry import Quaternion
+            from repro.traces import Pose
+
+            last = history.pose(len(history) - 1)
+            return Pose(
+                t=last.t + horizon_s,
+                position=last.position,
+                orientation=Quaternion.from_euler(0.0, -1.5, 0.0),
+            )
+
+    cfg = config_for(
+        small_video,
+        study,
+        visibility=VisibilityConfig(),
+        predictor=EmptyDemandPredictor(),
+    )
+    report = StreamingSession(cfg).run()  # must terminate
+    assert report.session_length_s == pytest.approx(2.0)

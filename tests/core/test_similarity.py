@@ -1,0 +1,140 @@
+"""Viewport-similarity (IoU) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    compute_visibility_maps,
+    group_iou,
+    group_iou_samples,
+    iou_series,
+    pairwise_iou_samples,
+)
+from repro.pointcloud import VisibilityConfig
+
+
+def test_group_iou_paper_fig1_example():
+    """The worked example from the paper's Fig. 1: IoU = 0.5."""
+    u1 = {1, 3, 5, 6, 7, 8}
+    u2 = {1, 2, 3, 4, 5, 7}
+    assert group_iou([u1, u2]) == pytest.approx(0.5)
+
+
+def test_group_iou_identical_maps():
+    m = {1, 2, 3}
+    assert group_iou([m, m, m]) == 1.0
+
+
+def test_group_iou_disjoint_maps():
+    assert group_iou([{1, 2}, {3, 4}]) == 0.0
+
+
+def test_group_iou_empty_maps_agree():
+    assert group_iou([set(), set()]) == 1.0
+
+
+def test_group_iou_rejects_empty_list():
+    with pytest.raises(ValueError):
+        group_iou([])
+
+
+def test_group_iou_monotone_in_group_size():
+    """Adding a user can only shrink the intersection / grow the union."""
+    maps = [{1, 2, 3, 4}, {2, 3, 4, 5}, {3, 4, 5, 6}]
+    assert group_iou(maps) <= group_iou(maps[:2])
+
+
+@pytest.fixture(scope="module")
+def maps(small_video_mod, study_mod, grid_mod):
+    return compute_visibility_maps(
+        study_mod, small_video_mod, grid_mod, config=VisibilityConfig()
+    )
+
+
+@pytest.fixture(scope="module")
+def small_video_mod():
+    from repro.pointcloud import synthesize_video
+
+    return synthesize_video("high", num_frames=30, points_per_frame=3000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def study_mod():
+    from repro.traces import generate_user_study
+
+    return generate_user_study(num_users=6, duration_s=2.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def grid_mod(small_video_mod):
+    from repro.pointcloud import CellGrid
+
+    return CellGrid.covering(small_video_mod.bounds, 0.5, margin=0.05)
+
+
+def test_visibility_maps_shape(maps, study_mod):
+    assert maps.num_users == 6
+    assert maps.num_frames == study_mod.num_samples
+    assert maps.user_ids == tuple(t.user_id for t in study_mod.traces)
+
+
+def test_visibility_maps_user_lookup(maps):
+    assert maps.of_user(3) == maps.maps[3]
+    with pytest.raises(KeyError):
+        maps.of_user(42)
+
+
+def test_maps_subset_of_users(small_video_mod, study_mod, grid_mod):
+    sub = compute_visibility_maps(
+        study_mod, small_video_mod, grid_mod, users=[1, 4]
+    )
+    assert sub.num_users == 2
+    assert sub.user_ids == (1, 4)
+
+
+def test_maps_num_frames_limit(small_video_mod, study_mod, grid_mod):
+    sub = compute_visibility_maps(
+        study_mod, small_video_mod, grid_mod, num_frames=10
+    )
+    assert sub.num_frames == 10
+
+
+def test_iou_series_bounds(maps):
+    series = iou_series(maps, [0, 1])
+    assert len(series) == maps.num_frames
+    assert np.all(series >= 0.0)
+    assert np.all(series <= 1.0)
+
+
+def test_iou_series_self_pair_is_one(maps):
+    series = iou_series(maps, [2, 2])
+    assert np.allclose(series, 1.0)
+
+
+def test_pairwise_samples_count(maps):
+    samples = pairwise_iou_samples(maps, user_ids=[0, 1, 2])
+    assert len(samples) == 3 * maps.num_frames  # C(3,2) pairs
+
+
+def test_pairwise_needs_two_users(maps):
+    with pytest.raises(ValueError):
+        pairwise_iou_samples(maps, user_ids=[0])
+
+
+def test_group_samples_cap(maps):
+    samples = group_iou_samples(maps, group_size=3, max_groups=5)
+    assert len(samples) == 5 * maps.num_frames
+
+
+def test_group_samples_validation(maps):
+    with pytest.raises(ValueError):
+        group_iou_samples(maps, group_size=1)
+    with pytest.raises(ValueError):
+        group_iou_samples(maps, group_size=99)
+
+
+def test_larger_groups_have_lower_iou(maps):
+    """The paper's Fig. 2b group-size effect."""
+    pair = float(np.mean(pairwise_iou_samples(maps)))
+    triple = float(np.mean(group_iou_samples(maps, group_size=3, max_groups=20)))
+    assert triple <= pair + 0.02

@@ -1,0 +1,91 @@
+"""Ablation-runner tests (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_adaptation_ablation,
+    run_blockage_ablation,
+    run_cellsize_ablation,
+    run_grouping_ablation,
+    run_prediction_ablation,
+)
+
+
+def test_prediction_ablation_rows():
+    result = run_prediction_ablation(num_users=6, duration_s=5.0)
+    assert set(result.rows) == {
+        "last-value",
+        "linear-regression",
+        "mlp",
+        "joint-multiuser",
+    }
+    for pos_err, ori_err, iou in result.rows.values():
+        assert 0 <= pos_err < 1.0
+        assert 0 <= ori_err < 90.0
+        assert 0 <= iou <= 1.0
+    assert "Predictor" in result.format()
+
+
+def test_blockage_ablation_proactive_helps():
+    result = run_blockage_ablation(num_users=6, duration_s=5.0)
+    assert set(result.rows) == {"reactive", "proactive"}
+    reactive = result.rows["reactive"]
+    proactive = result.rows["proactive"]
+    # Proactive mitigation must not hurt and should reduce stalls / raise QoE.
+    assert proactive["qoe_score"] >= reactive["qoe_score"] - 1e-6
+    assert "Policy" in result.format()
+
+
+def test_grouping_ablation_multicast_helps():
+    result = run_grouping_ablation(user_counts=(2, 4), num_frames=9)
+    for n in (2, 4):
+        assert result.fps["greedy"][n] >= result.fps["unicast"][n] - 1e-9
+        assert result.fps["exhaustive"][n] >= result.fps["greedy"][n] - 0.5
+    assert "Users" in result.format()
+
+
+def test_adaptation_ablation_policies():
+    result = run_adaptation_ablation(num_users=6, duration_s=5.0)
+    assert set(result.rows) == {
+        "fixed-high",
+        "throughput",
+        "buffer",
+        "mpc",
+        "cross-layer",
+    }
+    # Every policy produces a valid summary.
+    for summary in result.rows.values():
+        assert summary["mean_fps"] >= 0
+        assert summary["stall_time_s"] >= 0
+    # Adaptive policies should stall less than fixed-high on a constrained
+    # link (or at worst match it).
+    fixed_stall = result.rows["fixed-high"]["stall_time_s"]
+    xl_stall = result.rows["cross-layer"]["stall_time_s"]
+    assert xl_stall <= fixed_stall + 0.5
+    assert "qoe" in result.format()
+
+
+def test_cellsize_ablation_tradeoff():
+    result = run_cellsize_ablation(num_users=6, duration_s=3.0)
+    sizes = sorted(result.rows)
+    assert sizes == [0.25, 0.5, 1.0]
+    ious = [result.rows[s][0] for s in sizes]
+    # Finer cells -> lower IoU (the paper's segmentation-granularity effect).
+    assert ious[0] <= ious[-1] + 0.02
+    for iou, frac, mb in result.rows.values():
+        assert 0 <= iou <= 1
+        assert 0 < frac <= 1.0
+        assert mb > 0
+    assert "Cell(cm)" in result.format()
+
+
+def test_multiap_ablation_coordination_helps():
+    from repro.experiments import run_multiap_ablation
+
+    result = run_multiap_ablation(user_counts=(2, 6), num_instants=5)
+    for n, (single_ms, multi_ms) in result.rows.items():
+        assert single_ms > 0 and multi_ms > 0
+        assert multi_ms <= single_ms * 1.05
+    assert result.speedup(6) > 1.05
+    assert "Speedup" in result.format()

@@ -1,0 +1,138 @@
+"""Frustum construction and culling tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import AABB, Frustum, Quaternion
+
+
+def frustum_at_origin(**kwargs):
+    return Frustum(
+        position=np.zeros(3), orientation=Quaternion.identity(), **kwargs
+    )
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        frustum_at_origin(h_fov=0.0)
+    with pytest.raises(ValueError):
+        frustum_at_origin(v_fov=4.0)
+    with pytest.raises(ValueError):
+        frustum_at_origin(near=2.0, far=1.0)
+
+
+def test_point_straight_ahead_is_inside():
+    f = frustum_at_origin()
+    assert f.contains_point(np.array([5.0, 0, 0]))
+
+
+def test_point_behind_is_outside():
+    f = frustum_at_origin()
+    assert not f.contains_point(np.array([-1.0, 0, 0]))
+
+
+def test_point_beyond_far_is_outside():
+    f = frustum_at_origin(far=10.0)
+    assert not f.contains_point(np.array([11.0, 0, 0]))
+
+
+def test_point_inside_near_plane_is_outside():
+    f = frustum_at_origin(near=0.5)
+    assert not f.contains_point(np.array([0.25, 0, 0]))
+
+
+def test_horizontal_fov_edges():
+    f = frustum_at_origin(h_fov=np.deg2rad(90.0))
+    # 45 degrees off-axis: just inside; 50 degrees: outside.
+    inside = np.array([1.0, np.tan(np.deg2rad(44.0)), 0.0])
+    outside = np.array([1.0, np.tan(np.deg2rad(50.0)), 0.0])
+    assert f.contains_point(inside)
+    assert not f.contains_point(outside)
+
+
+def test_vertical_fov_edges():
+    f = frustum_at_origin(v_fov=np.deg2rad(60.0))
+    assert f.contains_point(np.array([1.0, 0.0, np.tan(np.deg2rad(29.0))]))
+    assert not f.contains_point(np.array([1.0, 0.0, np.tan(np.deg2rad(35.0))]))
+
+
+def test_contains_points_matches_scalar():
+    f = frustum_at_origin()
+    pts = np.array(
+        [[5.0, 0, 0], [-1.0, 0, 0], [1.0, 5.0, 0], [2.0, 0.5, 0.2]]
+    )
+    mask = f.contains_points(pts)
+    for p, m in zip(pts, mask):
+        assert f.contains_point(p) == bool(m)
+
+
+def test_rotated_frustum_follows_orientation():
+    q = Quaternion.from_euler(np.pi / 2, 0, 0)  # looking along +Y
+    f = Frustum(position=np.zeros(3), orientation=q)
+    assert f.contains_point(np.array([0.0, 5.0, 0]))
+    assert not f.contains_point(np.array([5.0, 0.0, 0]))
+
+
+def test_aabb_fully_inside():
+    f = frustum_at_origin()
+    box = AABB(np.array([2.0, -0.2, -0.2]), np.array([2.5, 0.2, 0.2]))
+    assert f.intersects_aabb(box)
+
+
+def test_aabb_fully_behind():
+    f = frustum_at_origin()
+    box = AABB(np.array([-3.0, -0.2, -0.2]), np.array([-2.0, 0.2, 0.2]))
+    assert not f.intersects_aabb(box)
+
+
+def test_aabb_straddling_near_plane():
+    f = frustum_at_origin(near=1.0)
+    box = AABB(np.array([0.5, -0.1, -0.1]), np.array([1.5, 0.1, 0.1]))
+    assert f.intersects_aabb(box)
+
+
+def test_vectorized_aabb_matches_scalar():
+    f = frustum_at_origin()
+    rng = np.random.default_rng(3)
+    lows = rng.uniform(-5, 5, size=(50, 3))
+    highs = lows + rng.uniform(0.1, 1.0, size=(50, 3))
+    mask = f.intersects_aabbs(lows, highs)
+    for lo, hi, m in zip(lows, highs, mask):
+        assert f.intersects_aabb(AABB(lo, hi)) == bool(m)
+
+
+def test_culling_never_drops_boxes_containing_inside_points():
+    # Conservativeness: any box containing an inside point must be kept.
+    f = frustum_at_origin()
+    rng = np.random.default_rng(4)
+    for _ in range(50):
+        p = np.array(
+            [rng.uniform(0.1, 19), rng.uniform(-3, 3), rng.uniform(-3, 3)]
+        )
+        if not f.contains_point(p):
+            continue
+        lo = p - rng.uniform(0.05, 0.5, size=3)
+        hi = p + rng.uniform(0.05, 0.5, size=3)
+        assert f.intersects_aabb(AABB(lo, hi))
+
+
+def test_with_pose_moves_frustum():
+    f = frustum_at_origin()
+    moved = f.with_pose(np.array([10.0, 0, 0]), Quaternion.identity())
+    assert moved.contains_point(np.array([12.0, 0, 0]))
+    assert not moved.contains_point(np.array([5.0, 0, 0]))
+    assert moved.h_fov == f.h_fov
+
+
+def test_angular_offset():
+    f = frustum_at_origin()
+    assert f.angular_offset(np.array([5.0, 0, 0])) == pytest.approx(0.0)
+    assert f.angular_offset(np.array([0.0, 5.0, 0])) == pytest.approx(np.pi / 2)
+
+
+@given(st.floats(min_value=-1.0, max_value=1.0))
+def test_forward_property(yaw):
+    q = Quaternion.from_euler(yaw, 0, 0)
+    f = Frustum(position=np.zeros(3), orientation=q)
+    assert np.allclose(f.forward, [np.cos(yaw), np.sin(yaw), 0.0], atol=1e-9)

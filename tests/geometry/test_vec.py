@@ -1,0 +1,113 @@
+"""Unit and property tests for vector helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    angle_between,
+    azimuth_elevation,
+    cross,
+    distance,
+    dot,
+    from_azimuth_elevation,
+    norm,
+    normalize,
+    project_onto_plane,
+    vec3,
+)
+
+finite = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def test_vec3_builds_float64():
+    v = vec3(1, 2, 3)
+    assert v.dtype == np.float64
+    assert v.tolist() == [1.0, 2.0, 3.0]
+
+
+def test_norm_of_unit_axes():
+    assert norm(vec3(1, 0, 0)) == pytest.approx(1.0)
+    assert norm(vec3(3, 4, 0)) == pytest.approx(5.0)
+
+
+def test_normalize_unit_length():
+    v = normalize(vec3(3, 4, 0))
+    assert np.linalg.norm(v) == pytest.approx(1.0)
+
+
+def test_normalize_zero_vector_passthrough():
+    v = normalize(vec3(0, 0, 0))
+    assert np.allclose(v, 0.0)
+
+
+def test_normalize_stack():
+    vs = normalize(np.array([[2.0, 0, 0], [0, 0, 5.0]]))
+    assert np.allclose(np.linalg.norm(vs, axis=1), 1.0)
+
+
+def test_dot_orthogonal():
+    assert dot(vec3(1, 0, 0), vec3(0, 1, 0)) == pytest.approx(0.0)
+
+
+def test_cross_right_handed():
+    assert np.allclose(cross(vec3(1, 0, 0), vec3(0, 1, 0)), vec3(0, 0, 1))
+
+
+def test_distance_symmetric():
+    a, b = vec3(1, 2, 3), vec3(4, 6, 3)
+    assert distance(a, b) == pytest.approx(5.0)
+    assert distance(b, a) == pytest.approx(distance(a, b))
+
+
+def test_angle_between_axes():
+    assert angle_between(vec3(1, 0, 0), vec3(0, 1, 0)) == pytest.approx(np.pi / 2)
+    assert angle_between(vec3(1, 0, 0), vec3(-1, 0, 0)) == pytest.approx(np.pi)
+    assert angle_between(vec3(2, 0, 0), vec3(5, 0, 0)) == pytest.approx(0.0)
+
+
+def test_azimuth_elevation_axes():
+    az, el = azimuth_elevation(vec3(1, 0, 0))
+    assert az == pytest.approx(0.0)
+    assert el == pytest.approx(0.0)
+    az, el = azimuth_elevation(vec3(0, 1, 0))
+    assert az == pytest.approx(np.pi / 2)
+    az, el = azimuth_elevation(vec3(0, 0, 1))
+    assert el == pytest.approx(np.pi / 2)
+
+
+@given(finite, finite, finite)
+def test_azimuth_elevation_roundtrip(x, y, z):
+    v = np.array([x, y, z])
+    if np.linalg.norm(v) < 1e-6:
+        return
+    az, el = azimuth_elevation(v)
+    back = from_azimuth_elevation(az, el)
+    assert np.allclose(back, normalize(v), atol=1e-9)
+
+
+@given(finite, finite, finite)
+def test_normalize_is_idempotent(x, y, z):
+    v = np.array([x, y, z])
+    if np.linalg.norm(v) < 1e-6:
+        return
+    once = normalize(v)
+    twice = normalize(once)
+    assert np.allclose(once, twice, atol=1e-12)
+
+
+def test_project_onto_plane_removes_normal_component():
+    v = vec3(1, 2, 3)
+    p = project_onto_plane(v, vec3(0, 0, 1))
+    assert p[2] == pytest.approx(0.0)
+    assert p[0] == pytest.approx(1.0)
+    assert p[1] == pytest.approx(2.0)
+
+
+@given(finite, finite, finite)
+def test_projection_is_orthogonal_to_normal(x, y, z):
+    n = vec3(0, 1, 1)
+    p = project_onto_plane(np.array([x, y, z]), n)
+    assert abs(dot(p, normalize(n))) < 1e-8

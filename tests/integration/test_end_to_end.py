@@ -1,0 +1,169 @@
+"""End-to-end integration: all subsystems composed, paper shapes asserted."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CapacityRateProvider,
+    ChannelRateProvider,
+    CrossLayerPolicy,
+    FixedQualityPolicy,
+    SessionConfig,
+    StreamingSession,
+    measure_max_fps,
+)
+from repro.mac import AD_MODEL, RecoveryPolicy, apply_recovery
+from repro.mmwave import (
+    AccessPoint,
+    Channel,
+    Codebook,
+    Room,
+    compute_blockage_timeline,
+)
+from repro.pointcloud import VisibilityConfig, synthesize_video
+from repro.prediction import (
+    BlockageForecaster,
+    JointViewportPredictor,
+    LinearRegressionPredictor,
+)
+from repro.traces import generate_user_study
+
+AP_POS = np.array([4.0, 0.3, 2.0])
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    video = synthesize_video("high", num_frames=40, points_per_frame=3000, seed=21)
+    study = generate_user_study(
+        num_users=4, duration_s=4.0, seed=21,
+        content_center=np.array([4.0, 5.0, 0.0]),
+    )
+    ap = AccessPoint(position=AP_POS, boresight_az=np.pi / 2)
+    channel = Channel(ap=ap, room=Room(8.0, 10.0, 3.0))
+    codebook = Codebook(ap.array, num_az=24, elevations=(0.0,))
+    return video, study, channel, codebook
+
+
+def test_channel_rates_session_end_to_end(scenario):
+    """Beam-level rates drive a real streaming session without stalling."""
+    video, study, channel, codebook = scenario
+    rates = ChannelRateProvider(channel=channel, codebook=codebook, study=study)
+    config = SessionConfig(
+        video=video,
+        study=study,
+        rates=rates,
+        visibility=VisibilityConfig(),
+        grouping="greedy",
+        adaptation=FixedQualityPolicy("medium"),
+    )
+    report = StreamingSession(config).run()
+    assert report.mean_fps > 10.0
+    assert all(u.frames_played > 30 for u in report.users)
+
+
+def test_multicast_grouping_improves_channel_fps(scenario):
+    video, study, channel, codebook = scenario
+    rates = ChannelRateProvider(channel=channel, codebook=codebook, study=study)
+    base = dict(
+        video=video,
+        study=study,
+        rates=rates,
+        visibility=VisibilityConfig(),
+        adaptation=FixedQualityPolicy("high"),
+    )
+    uni = measure_max_fps(
+        SessionConfig(grouping="none", **base), num_frames=10, stride=2
+    )
+    multi = measure_max_fps(
+        SessionConfig(grouping="greedy", **base), num_frames=10, stride=2
+    )
+    assert float(np.mean(multi)) >= float(np.mean(uni)) - 1e-9
+
+
+def test_full_cross_layer_pipeline(scenario):
+    """Prediction + blockage forecast + cross-layer adaptation + multicast."""
+    video, study, channel, codebook = scenario
+    timeline = compute_blockage_timeline(study, AP_POS)
+    recovered = apply_recovery(
+        timeline, RecoveryPolicy.proactive_default(), seed=0
+    )
+    rates = CapacityRateProvider(
+        model=AD_MODEL, num_users=len(study), timeline=recovered
+    )
+    forecaster = BlockageForecaster(
+        ap_position=AP_POS, predictor=JointViewportPredictor(), horizon_s=0.5
+    )
+    config = SessionConfig(
+        video=video,
+        study=study,
+        rates=rates,
+        visibility=VisibilityConfig(),
+        grouping="greedy",
+        adaptation=CrossLayerPolicy(),
+        predictor=LinearRegressionPredictor(),
+        blockage_forecaster=forecaster,
+    )
+    report = StreamingSession(config).run()
+    summary = report.summary()
+    assert summary["mean_fps"] > 15.0
+    assert summary["qoe_score"] > 0.0
+
+
+def test_prediction_driven_prefetch_close_to_oracle(scenario):
+    """Linear-regression prefetching should cost nearly the same as oracle
+    demand (small horizon, smooth traces)."""
+    video, study, channel, codebook = scenario
+    rates = CapacityRateProvider(model=AD_MODEL, num_users=len(study))
+    base = dict(
+        video=video,
+        study=study,
+        rates=rates,
+        visibility=VisibilityConfig(),
+        grouping="none",
+        adaptation=FixedQualityPolicy("high"),
+    )
+    oracle = StreamingSession(SessionConfig(**base)).run()
+    predicted = StreamingSession(
+        SessionConfig(predictor=LinearRegressionPredictor(), **base)
+    ).run()
+    assert predicted.mean_fps >= oracle.mean_fps - 3.0
+
+
+def test_quality_scaling_monotonicity(scenario):
+    """Lower quality must never reduce the achievable frame rate."""
+    video, study, channel, codebook = scenario
+    study8 = generate_user_study(num_users=8, duration_s=3.0, seed=22)
+    video8 = synthesize_video("high", num_frames=30, points_per_frame=2500, seed=22)
+    fps = {}
+    for q in ("low", "medium", "high"):
+        config = SessionConfig(
+            video=video8.at_quality(q),
+            study=study8,
+            rates=CapacityRateProvider(model=AD_MODEL, num_users=8),
+            visibility=VisibilityConfig.vanilla(),
+            grouping="none",
+            adaptation=FixedQualityPolicy(q),
+        )
+        fps[q] = float(np.mean(measure_max_fps(config, num_frames=9, stride=3)))
+    assert fps["low"] >= fps["medium"] >= fps["high"]
+
+
+def test_user_scaling_monotonicity():
+    """More users -> lower per-user FPS (Table 1's scaling trend)."""
+    video = synthesize_video("high", num_frames=20, points_per_frame=2000, seed=23)
+    means = []
+    for n in (3, 5, 7):
+        study = generate_user_study(num_users=n, duration_s=2.0, seed=23)
+        config = SessionConfig(
+            video=video,
+            study=study,
+            rates=CapacityRateProvider(model=AD_MODEL, num_users=n),
+            visibility=VisibilityConfig.vanilla(),
+            grouping="none",
+            adaptation=FixedQualityPolicy("high"),
+        )
+        means.append(
+            float(np.mean(measure_max_fps(config, num_frames=9, stride=3)))
+        )
+    assert means[0] >= means[1] >= means[2]
+    assert means[2] < 15.0  # 7 users vanilla high: paper says 11.2 FPS

@@ -1,0 +1,153 @@
+"""Frame scheduler tests — the paper's T_m(k) transmission-time model."""
+
+import pytest
+
+from repro.mac import (
+    FramePlan,
+    UserDemand,
+    multicast_frame_time,
+    overlap_bytes,
+    plan_frame,
+    unicast_frame_time,
+)
+
+
+def demand(uid, cells, rate=400.0):
+    return UserDemand(user_id=uid, cell_bytes=cells, unicast_rate_mbps=rate)
+
+
+def test_demand_total_bytes():
+    d = demand(0, {1: 100.0, 2: 250.0})
+    assert d.total_bytes == pytest.approx(350.0)
+
+
+def test_demand_rejects_negative_rate():
+    with pytest.raises(ValueError):
+        demand(0, {}, rate=-1.0)
+
+
+def test_overlap_bytes_paper_fig1_example():
+    """Fig. 1: users sharing cells 1,3,5,7 out of 8 cells."""
+    u1 = demand(0, {c: 10.0 for c in (1, 3, 5, 6, 7, 8)})
+    u2 = demand(1, {c: 10.0 for c in (1, 2, 3, 4, 5, 7)})
+    assert overlap_bytes([u1, u2]) == pytest.approx(40.0)  # cells 1,3,5,7
+
+
+def test_overlap_uses_max_density_per_cell():
+    u1 = demand(0, {1: 10.0, 2: 30.0})
+    u2 = demand(1, {1: 20.0, 2: 5.0})
+    assert overlap_bytes([u1, u2]) == pytest.approx(20.0 + 30.0)
+
+
+def test_overlap_empty_cases():
+    assert overlap_bytes([]) == 0.0
+    u1 = demand(0, {1: 10.0})
+    u2 = demand(1, {2: 10.0})
+    assert overlap_bytes([u1, u2]) == 0.0
+
+
+def test_unicast_time_sums_transfers():
+    # 1 MB at 400 Mbps = 0.02 s each.
+    d1 = demand(0, {1: 1e6}, rate=400.0)
+    d2 = demand(1, {2: 1e6}, rate=400.0)
+    assert unicast_frame_time([d1, d2]) == pytest.approx(0.04)
+
+
+def test_unicast_time_infinite_on_dead_link():
+    d = demand(0, {1: 1e6}, rate=0.0)
+    assert unicast_frame_time([d]) == float("inf")
+
+
+def test_multicast_time_formula():
+    """T_m(k) = S_m/r_m + sum (S_i - S_m)/r_i, exactly."""
+    shared = {1: 1e6}
+    d1 = demand(0, {**shared, 2: 0.5e6}, rate=400.0)
+    d2 = demand(1, {**shared, 3: 0.25e6}, rate=200.0)
+    r_m = 300.0
+    expected = (
+        1e6 * 8 / (r_m * 1e6)
+        + 0.5e6 * 8 / (400.0 * 1e6)
+        + 0.25e6 * 8 / (200.0 * 1e6)
+    )
+    assert multicast_frame_time([d1, d2], r_m) == pytest.approx(expected)
+
+
+def test_multicast_beats_unicast_with_high_overlap():
+    shared = {c: 1e5 for c in range(10)}
+    d1 = demand(0, dict(shared), rate=400.0)
+    d2 = demand(1, dict(shared), rate=400.0)
+    assert multicast_frame_time([d1, d2], 400.0) < unicast_frame_time([d1, d2])
+
+
+def test_multicast_at_low_rate_can_lose():
+    """The Fig. 3e effect: a dragged-down common MCS makes multicast worse."""
+    shared = {c: 1e5 for c in range(10)}
+    d1 = demand(0, dict(shared), rate=1000.0)
+    d2 = demand(1, dict(shared), rate=1000.0)
+    slow_multicast = multicast_frame_time([d1, d2], 100.0)
+    assert slow_multicast > unicast_frame_time([d1, d2])
+
+
+def test_multicast_no_overlap_equals_unicast():
+    d1 = demand(0, {1: 1e6}, rate=400.0)
+    d2 = demand(1, {2: 1e6}, rate=400.0)
+    assert multicast_frame_time([d1, d2], 999.0) == pytest.approx(
+        unicast_frame_time([d1, d2])
+    )
+
+
+def test_plan_validation_duplicate_member():
+    d1, d2 = demand(0, {1: 1.0}), demand(1, {1: 1.0})
+    with pytest.raises(ValueError):
+        FramePlan(
+            demands={0: d1, 1: d2},
+            groups=[((0, 1), 100.0), ((0,), 100.0)],
+        )
+
+
+def test_plan_validation_unknown_member():
+    d1 = demand(0, {1: 1.0})
+    with pytest.raises(KeyError):
+        FramePlan(demands={0: d1}, groups=[((0, 7), 100.0)])
+
+
+def test_plan_solo_and_grouped_users():
+    ds = [demand(i, {1: 1e5}) for i in range(4)]
+    plan = plan_frame(ds, groups=[((0, 1), 300.0)])
+    assert plan.grouped_users == {0, 1}
+    assert sorted(plan.solo_users) == [2, 3]
+
+
+def test_plan_total_time_mixes_schemes():
+    shared = {1: 1e6}
+    ds = [
+        demand(0, dict(shared), rate=400.0),
+        demand(1, dict(shared), rate=400.0),
+        demand(2, {2: 1e6}, rate=400.0),
+    ]
+    plan = plan_frame(ds, groups=[((0, 1), 400.0)])
+    expected = 1e6 * 8 / 400e6 + 1e6 * 8 / 400e6
+    assert plan.total_time_s() == pytest.approx(expected)
+
+
+def test_beam_switch_overhead_charged_per_transmission():
+    ds = [demand(0, {1: 1e5}), demand(1, {2: 1e5})]
+    base = plan_frame(ds).total_time_s()
+    with_overhead = plan_frame(ds, beam_switch_overhead_s=0.001).total_time_s()
+    assert with_overhead == pytest.approx(base + 0.002)
+
+
+def test_achievable_fps_and_constraint():
+    d = demand(0, {1: 1e6}, rate=800.0)  # 0.01 s -> 100 FPS uncapped
+    plan = plan_frame([d])
+    assert plan.achievable_fps(cap_fps=30.0) == 30.0
+    assert plan.satisfies(30.0)
+    slow = plan_frame([demand(0, {1: 1e6}, rate=80.0)])  # 0.1 s -> 10 FPS
+    assert slow.achievable_fps() == pytest.approx(10.0)
+    assert not slow.satisfies(30.0)
+
+
+def test_empty_demand_plan():
+    plan = plan_frame([demand(0, {})])
+    assert plan.total_time_s() == 0.0
+    assert plan.achievable_fps() == 30.0

@@ -1,0 +1,79 @@
+"""Property-based tests for the T_m(k) scheduler (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mac import (
+    UserDemand,
+    multicast_frame_time,
+    overlap_bytes,
+    plan_frame,
+    unicast_frame_time,
+)
+
+cell_maps = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=30),
+    values=st.floats(min_value=1.0, max_value=1e6),
+    min_size=1,
+    max_size=12,
+)
+rates = st.floats(min_value=10.0, max_value=5000.0)
+
+
+@given(cell_maps, cell_maps, rates, rates)
+@settings(max_examples=60, deadline=None)
+def test_overlap_never_exceeds_either_demand_plus_shared_max(c1, c2, r1, r2):
+    d1 = UserDemand(0, c1, r1)
+    d2 = UserDemand(1, c2, r2)
+    shared = set(c1) & set(c2)
+    upper = sum(max(c1[c], c2[c]) for c in shared)
+    assert overlap_bytes([d1, d2]) == pytest.approx(upper)
+
+
+@given(cell_maps, rates, rates)
+@settings(max_examples=60, deadline=None)
+def test_identical_viewports_multicast_at_least_halves_airtime(cells, r, rm):
+    """Full overlap: T_m = S/r_m <= 2S/r when r_m >= r."""
+    d1 = UserDemand(0, dict(cells), r)
+    d2 = UserDemand(1, dict(cells), r)
+    t_uni = unicast_frame_time([d1, d2])
+    t_multi = multicast_frame_time([d1, d2], max(r, rm))
+    assert t_multi <= t_uni / 2.0 + 1e-12
+
+
+@given(cell_maps, cell_maps, rates)
+@settings(max_examples=60, deadline=None)
+def test_multicast_time_at_equal_rates_never_worse(c1, c2, r):
+    """With r_m = r_i, multicast can only deduplicate, never add time."""
+    d1 = UserDemand(0, c1, r)
+    d2 = UserDemand(1, c2, r)
+    assert multicast_frame_time([d1, d2], r) <= unicast_frame_time([d1, d2]) + 1e-12
+
+
+@given(cell_maps, cell_maps, rates, rates)
+@settings(max_examples=60, deadline=None)
+def test_multicast_time_monotone_in_multicast_rate(c1, c2, r1, r2):
+    d1 = UserDemand(0, c1, r1)
+    d2 = UserDemand(1, c2, r2)
+    slow = multicast_frame_time([d1, d2], 50.0)
+    fast = multicast_frame_time([d1, d2], 500.0)
+    assert fast <= slow + 1e-12
+
+
+@given(cell_maps, rates)
+@settings(max_examples=40, deadline=None)
+def test_plan_time_scales_linearly_with_bytes(cells, r):
+    d = UserDemand(0, dict(cells), r)
+    doubled = UserDemand(0, {c: 2 * b for c, b in cells.items()}, r)
+    t1 = plan_frame([d]).total_time_s()
+    t2 = plan_frame([doubled]).total_time_s()
+    assert t2 == pytest.approx(2.0 * t1, rel=1e-9)
+
+
+@given(st.lists(cell_maps, min_size=1, max_size=5), rates)
+@settings(max_examples=40, deadline=None)
+def test_unicast_time_is_sum_of_singles(maps, r):
+    demands = [UserDemand(i, m, r) for i, m in enumerate(maps)]
+    total = unicast_frame_time(demands)
+    singles = sum(unicast_frame_time([d]) for d in demands)
+    assert total == pytest.approx(singles, rel=1e-9)

@@ -1,0 +1,103 @@
+"""WLAN capacity model tests — calibrated against Table 1's rate column."""
+
+import pytest
+
+from repro.mac import AC_MODEL, AD_MODEL, STREAMING_GOODPUT_EFFICIENCY, WlanCapacityModel
+
+# Per-user transport rates measured in the paper (Table 1).
+PAPER_AC_RATES = {1: 374.0, 2: 180.0, 3: 112.0}
+PAPER_AD_RATES = {1: 1270.0, 2: 575.0, 3: 382.0, 4: 298.0, 5: 231.0, 6: 175.0, 7: 144.0}
+
+
+@pytest.mark.parametrize("users,rate", sorted(PAPER_AC_RATES.items()))
+def test_ac_per_user_rates_match_paper(users, rate):
+    assert AC_MODEL.per_user_mbps(users) == pytest.approx(rate, rel=1e-6)
+
+
+@pytest.mark.parametrize("users,rate", sorted(PAPER_AD_RATES.items()))
+def test_ad_per_user_rates_match_paper(users, rate):
+    assert AD_MODEL.per_user_mbps(users) == pytest.approx(rate, rel=1e-6)
+
+
+def test_single_user_rates():
+    assert AC_MODEL.single_user_mbps == 374.0
+    assert AD_MODEL.single_user_mbps == 1270.0
+
+
+def test_aggregate_efficiency_at_one_is_full():
+    assert AC_MODEL.aggregate_efficiency(1) == 1.0
+    assert AD_MODEL.aggregate_efficiency(1) == 1.0
+
+
+def test_extrapolation_beyond_measured_decays():
+    e7 = AD_MODEL.aggregate_efficiency(7)
+    e8 = AD_MODEL.aggregate_efficiency(8)
+    e20 = AD_MODEL.aggregate_efficiency(20)
+    assert e8 < e7
+    assert e20 >= AD_MODEL.extrapolation_floor
+
+
+def test_interpolation_between_known_counts():
+    m = WlanCapacityModel(
+        name="x", single_user_mbps=100.0, efficiency_table={1: 1.0, 3: 0.8}
+    )
+    assert m.aggregate_efficiency(2) == pytest.approx(0.9)
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        WlanCapacityModel(name="x", single_user_mbps=0.0)
+    with pytest.raises(ValueError):
+        WlanCapacityModel(
+            name="x", single_user_mbps=10.0, efficiency_table={2: 1.5}
+        )
+    with pytest.raises(ValueError):
+        AD_MODEL.aggregate_efficiency(0)
+
+
+def test_goodput_applies_efficiency():
+    assert AD_MODEL.per_user_goodput_mbps(2) == pytest.approx(
+        575.0 * STREAMING_GOODPUT_EFFICIENCY
+    )
+
+
+def test_max_fps_capped_at_content_rate():
+    assert AD_MODEL.max_fps(1, 364.0) == 30.0
+
+
+@pytest.mark.parametrize(
+    "users,bitrate,paper_fps",
+    [
+        (2, 235.0, 21.5),
+        (2, 294.0, 17.4),
+        (2, 364.0, 14.1),
+        (3, 235.0, 13.6),
+        (3, 294.0, 10.9),
+        (3, 364.0, 8.4),
+    ],
+)
+def test_ac_vanilla_fps_close_to_paper(users, bitrate, paper_fps):
+    """The capacity model reproduces Table 1's vanilla 802.11ac FPS ±10%."""
+    fps = AC_MODEL.max_fps(users, bitrate)
+    assert fps == pytest.approx(paper_fps, rel=0.10)
+
+
+@pytest.mark.parametrize(
+    "users,bitrate,paper_fps",
+    [
+        (5, 235.0, 27.4),
+        (5, 294.0, 21.6),
+        (5, 364.0, 18.0),
+        (6, 364.0, 13.2),
+        (7, 235.0, 16.8),
+        (7, 364.0, 11.2),
+    ],
+)
+def test_ad_vanilla_fps_close_to_paper(users, bitrate, paper_fps):
+    fps = AD_MODEL.max_fps(users, bitrate)
+    assert fps == pytest.approx(paper_fps, rel=0.10)
+
+
+def test_max_fps_rejects_bad_bitrate():
+    with pytest.raises(ValueError):
+        AD_MODEL.max_fps(1, 0.0)

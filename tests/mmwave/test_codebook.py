@@ -1,0 +1,76 @@
+"""Sector codebook tests."""
+
+import numpy as np
+import pytest
+
+from repro.mmwave import Codebook, PhasedArray
+
+
+@pytest.fixture(scope="module")
+def arr():
+    return PhasedArray()
+
+
+def test_default_codebook_size(arr):
+    cb = Codebook(arr)
+    assert len(cb) == 64 * 3
+    assert cb[0].beam_id == 0
+    assert cb[191].beam_id == 191
+
+
+def test_codebook_validation(arr):
+    with pytest.raises(ValueError):
+        Codebook(arr, num_az=1)
+    with pytest.raises(ValueError):
+        Codebook(arr, az_min=1.0, az_max=0.0)
+
+
+def test_beams_span_the_field_of_view(arr):
+    cb = Codebook(arr, num_az=8, elevations=(0.0,))
+    azs = [b.steer_az for b in cb]
+    assert min(azs) == pytest.approx(np.deg2rad(-60))
+    assert max(azs) == pytest.approx(np.deg2rad(60))
+
+
+def test_nearest_beam(arr):
+    cb = Codebook(arr, num_az=16, elevations=(0.0,))
+    b = cb.nearest_beam(0.0, 0.0)
+    assert abs(b.steer_az) <= np.deg2rad(120) / 15 / 2 + 1e-9
+    b_edge = cb.nearest_beam(2.0, 0.0)  # beyond the FoV clamps to the edge
+    assert b_edge.steer_az == pytest.approx(np.deg2rad(60))
+
+
+def test_default_beams_are_quantized(arr):
+    cb = Codebook(arr, num_az=4, elevations=(0.0,))
+    for beam in cb:
+        steps = np.angle(beam.weights) / (np.pi / 2)
+        assert np.allclose(steps, np.round(steps), atol=1e-9)
+
+
+def test_ideal_codebook_not_quantized(arr):
+    cb = Codebook(arr, num_az=4, elevations=(0.0,), phase_bits=None)
+    quantized = 0
+    for beam in cb:
+        steps = np.angle(beam.weights) / (np.pi / 2)
+        if np.allclose(steps, np.round(steps), atol=1e-9):
+            quantized += 1
+    assert quantized < len(cb)  # boresight beam may be trivially on-grid
+
+
+def test_each_beam_covers_its_sector(arr):
+    cb = Codebook(arr, num_az=16, elevations=(0.0,), phase_bits=None)
+    for beam in list(cb)[::4]:
+        gains = cb.gains_toward(beam.steer_az, beam.steer_el)
+        assert int(np.argmax(gains)) == beam.beam_id
+
+
+def test_gains_toward_shape(arr):
+    cb = Codebook(arr, num_az=8, elevations=(0.0, 0.2))
+    g = cb.gains_toward(0.1, 0.0)
+    assert g.shape == (16,)
+
+
+def test_beams_have_unit_power(arr):
+    cb = Codebook(arr, num_az=8, elevations=(0.0,))
+    for beam in cb:
+        assert np.vdot(beam.weights, beam.weights).real == pytest.approx(1.0)

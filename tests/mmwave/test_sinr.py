@@ -1,0 +1,64 @@
+"""SINR model tests."""
+
+import numpy as np
+import pytest
+
+from repro.mmwave import (
+    MCS_TABLE,
+    NOISE_FLOOR_DBM,
+    app_rate_for_sinr_mbps,
+    app_rate_mbps,
+    mcs_for_rss,
+    mcs_for_sinr,
+    sinr_db,
+)
+
+
+def test_noise_floor_plausible():
+    # Thermal noise over 2.16 GHz + 7 dB NF: about -74 dBm.
+    assert -75.0 < NOISE_FLOOR_DBM < -72.0
+
+
+def test_sinr_without_interference_is_snr():
+    assert sinr_db(-50.0, []) == pytest.approx(-50.0 - NOISE_FLOOR_DBM)
+
+
+def test_interference_lowers_sinr():
+    clean = sinr_db(-50.0, [])
+    dirty = sinr_db(-50.0, [-55.0])
+    assert dirty < clean
+    # A dominant interferer pins SINR near the signal/interference ratio.
+    assert dirty == pytest.approx(5.0, abs=0.5)
+
+
+def test_multiple_interferers_accumulate():
+    one = sinr_db(-50.0, [-60.0])
+    two = sinr_db(-50.0, [-60.0, -60.0])
+    assert two < one
+
+
+def test_sinr_path_consistent_with_rss_path():
+    """Without interference, SINR-selected MCS == RSS-selected MCS."""
+    for rss in (-70.0, -68.0, -63.0, -58.0, -53.0, -45.0):
+        snr = sinr_db(rss, [])
+        by_sinr = mcs_for_sinr(snr)
+        by_rss = mcs_for_rss(rss)
+        if by_rss is None:
+            assert by_sinr is None
+        else:
+            assert by_sinr is not None
+            assert by_sinr.index == by_rss.index
+        assert app_rate_for_sinr_mbps(snr) == pytest.approx(app_rate_mbps(rss))
+
+
+def test_outage_below_mcs1_threshold():
+    assert mcs_for_sinr(2.0) is None
+    assert app_rate_for_sinr_mbps(2.0) == 0.0
+
+
+def test_rate_monotone_in_sinr():
+    prev = 0.0
+    for s in np.linspace(0.0, 30.0, 40):
+        rate = app_rate_for_sinr_mbps(float(s))
+        assert rate >= prev
+        prev = rate

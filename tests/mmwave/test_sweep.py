@@ -1,0 +1,98 @@
+"""Sector-sweep protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.mmwave import (
+    BeamTracker,
+    Codebook,
+    HumanBody,
+    SectorSweep,
+    SweepTiming,
+    best_unicast_beam,
+)
+
+
+def test_timing_validation():
+    t = SweepTiming()
+    with pytest.raises(ValueError):
+        t.txss_time(0)
+
+
+def test_txss_scales_with_sectors():
+    t = SweepTiming()
+    assert t.txss_time(64) == pytest.approx(64 * (15.8e-6 + 1e-6))
+    assert t.txss_time(128) == pytest.approx(2 * t.txss_time(64))
+
+
+def test_full_sls_lands_in_paper_band():
+    """A bidirectional 192-sector SLS with one retry: 5-20 ms (paper §4.1)."""
+    t = SweepTiming()
+    one = t.sls_time(192)
+    assert 0.005 < one < 0.010
+    with_retry = 2 * one
+    assert 0.005 < with_retry < 0.020
+
+
+def test_unidirectional_cheaper():
+    t = SweepTiming()
+    assert t.sls_time(64, bidirectional=False) < t.sls_time(64)
+
+
+def test_sweep_finds_best_beam(channel, ideal_small_codebook):
+    user = np.array([4.0, 5.0, 1.5])
+    sweep = SectorSweep(ideal_small_codebook)
+    result = sweep.run(channel, user)
+    beam, rss = best_unicast_beam(channel, ideal_small_codebook, user)
+    assert result.beam.beam_id == beam.beam_id
+    assert result.rss_dbm == pytest.approx(rss)
+    assert result.sectors_probed == len(ideal_small_codebook)
+    assert result.duration_s > 0
+
+
+def test_sweep_retries_add_time(channel, ideal_small_codebook):
+    user = np.array([4.0, 5.0, 1.5])
+    sweep = SectorSweep(ideal_small_codebook)
+    base = sweep.run(channel, user, retries=0)
+    retried = sweep.run(channel, user, retries=2)
+    assert retried.duration_s == pytest.approx(3 * base.duration_s)
+    with pytest.raises(ValueError):
+        sweep.run(channel, user, retries=-1)
+
+
+def test_sweep_routes_around_blockage(channel, ideal_small_codebook):
+    user = np.array([4.0, 7.0, 1.5])
+    body = HumanBody(np.array([4.0, 4.0]))
+    sweep = SectorSweep(ideal_small_codebook)
+    clear = sweep.run(channel, user)
+    blocked = sweep.run(channel, user, bodies=(body,))
+    # The sweep still finds *a* beam; it just delivers less power.
+    assert blocked.rss_dbm < clear.rss_dbm
+    assert blocked.rss_dbm > -90.0
+
+
+def test_tracker_much_faster_than_sweep(channel, ideal_small_codebook):
+    user = np.array([4.0, 5.0, 1.5])
+    sweep = SectorSweep(ideal_small_codebook)
+    full = sweep.run(channel, user)
+    tracker = BeamTracker(ideal_small_codebook, half_width=2)
+    tracked = tracker.track(channel, full.beam, user)
+    assert tracked.duration_s < full.duration_s / 3
+    assert tracked.sectors_probed <= 5
+
+
+def test_tracker_follows_small_motion(channel, ideal_small_codebook):
+    user = np.array([4.0, 5.0, 1.5])
+    sweep = SectorSweep(ideal_small_codebook)
+    start = sweep.run(channel, user)
+    moved = user + np.array([0.5, 0.0, 0.0])
+    tracker = BeamTracker(ideal_small_codebook, half_width=2)
+    tracked = tracker.track(channel, start.beam, moved)
+    optimal = sweep.run(channel, moved)
+    # After a small step the local search recovers the global optimum.
+    assert tracked.beam.beam_id == optimal.beam.beam_id
+
+
+def test_tracker_validation(ideal_small_codebook):
+    with pytest.raises(ValueError):
+        BeamTracker(ideal_small_codebook, half_width=0)

@@ -1,0 +1,127 @@
+"""Blockage forecaster tests."""
+
+import numpy as np
+import pytest
+
+from repro.mmwave import BlockageTimeline, compute_blockage_timeline
+from repro.prediction import (
+    BlockageForecaster,
+    ForecastScore,
+    JointViewportPredictor,
+    score_forecasts,
+)
+from repro.traces import generate_user_study
+
+AP = np.array([4.0, 0.3, 2.0])
+
+
+@pytest.fixture(scope="module")
+def blocky_study():
+    return generate_user_study(
+        num_users=6,
+        duration_s=6.0,
+        seed=3,
+        content_center=np.array([4.0, 5.0, 0.0]),
+    )
+
+
+def test_forecaster_validation():
+    with pytest.raises(ValueError):
+        BlockageForecaster(
+            ap_position=AP, predictor=JointViewportPredictor(), horizon_s=-1.0
+        )
+
+
+def test_forecast_at_shapes(blocky_study):
+    fc = BlockageForecaster(
+        ap_position=AP, predictor=JointViewportPredictor(), horizon_s=0.5
+    )
+    forecast = fc.forecast_at(blocky_study, 60)
+    assert len(forecast.will_block) == len(blocky_study)
+    assert len(forecast.blockers) == len(blocky_study)
+    for u, (warned, blockers) in enumerate(
+        zip(forecast.will_block, forecast.blockers)
+    ):
+        assert warned == bool(blockers)
+        assert u not in blockers  # a user never blocks themselves
+
+
+def test_forecast_session_length(blocky_study):
+    fc = BlockageForecaster(
+        ap_position=AP, predictor=JointViewportPredictor(), horizon_s=0.5
+    )
+    forecasts = fc.forecast_session(blocky_study, stride=10)
+    horizon_samples = int(0.5 * blocky_study.rate_hz)
+    expected = len(
+        range(30, blocky_study.num_samples - horizon_samples, 10)
+    )
+    assert len(forecasts) == expected
+
+
+def test_forecasts_better_than_chance(blocky_study):
+    timeline = compute_blockage_timeline(blocky_study, AP)
+    # Only meaningful if blockage actually occurs in this study.
+    base_rate = float(np.mean(timeline.blocked))
+    fc = BlockageForecaster(
+        ap_position=AP, predictor=JointViewportPredictor(), horizon_s=0.3
+    )
+    forecasts = fc.forecast_session(blocky_study, stride=3)
+    score = score_forecasts(forecasts, timeline)
+    if base_rate > 0.005:
+        assert score.recall > 0.15
+        assert score.precision > base_rate  # better than always-warn
+
+
+def test_score_perfect_oracle(blocky_study):
+    """Scoring the ground truth against itself gives precision=recall=1."""
+    timeline = compute_blockage_timeline(blocky_study, AP)
+
+    class Oracle:
+        def __init__(self, study):
+            self.study = study
+
+        def predict(self, histories, horizon_s):
+            # Return actual future poses.
+            t_future = histories[0].times[-1] + horizon_s
+            poses = tuple(tr.pose_at(t_future) for tr in self.study.traces)
+            from repro.prediction.multiuser import JointPredictionResult
+
+            return JointPredictionResult(poses=poses, independent_poses=poses)
+
+    fc = BlockageForecaster(
+        ap_position=AP,
+        predictor=Oracle(blocky_study),
+        horizon_s=0.5,
+        body_margin_m=0.0,
+    )
+    forecasts = fc.forecast_session(blocky_study, stride=5)
+    score = score_forecasts(forecasts, timeline, tolerance_samples=2)
+    assert score.precision > 0.9
+    assert score.recall > 0.9
+
+
+def test_forecast_score_metrics():
+    s = ForecastScore(true_positives=8, false_positives=2, false_negatives=2)
+    assert s.precision == pytest.approx(0.8)
+    assert s.recall == pytest.approx(0.8)
+    assert s.f1 == pytest.approx(0.8)
+    empty = ForecastScore(0, 0, 0)
+    assert empty.precision == 1.0
+    assert empty.recall == 1.0
+    assert empty.f1 == 1.0  # vacuously perfect
+
+
+def test_score_ignores_out_of_range_targets():
+    timeline = BlockageTimeline(
+        blocked=np.zeros((1, 10), dtype=bool), rate_hz=30.0
+    )
+    from repro.prediction.blockage import BlockageForecast
+
+    forecasts = [
+        BlockageForecast(
+            t=100.0, horizon_s=0.5, will_block=(True,), blockers=((1,),)
+        )
+    ]
+    score = score_forecasts(forecasts, timeline)
+    assert score.true_positives == 0
+    assert score.false_positives == 0

@@ -1,0 +1,91 @@
+"""Last-value and linear-regression predictor tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Quaternion
+from repro.prediction import LastValuePredictor, LinearRegressionPredictor
+from repro.traces import Device, Trace
+
+
+def linear_trace(n=60, rate=30.0, velocity=(1.0, 0.0, 0.0), yaw_rate=0.0):
+    t = np.arange(n) / rate
+    pos = np.outer(t, np.array(velocity)) + np.array([0.0, 0.0, 1.6])
+    ori = np.stack(
+        [Quaternion.from_euler(yaw_rate * ti, 0, 0).as_array() for ti in t]
+    )
+    return Trace(0, Device.HEADSET, t, pos, ori, rate_hz=rate)
+
+
+def test_last_value_holds_pose():
+    tr = linear_trace()
+    p = LastValuePredictor().predict(tr, 0.5)
+    assert np.allclose(p.position, tr.positions[-1])
+    assert p.t == pytest.approx(tr.times[-1] + 0.5)
+
+
+def test_negative_horizon_rejected():
+    tr = linear_trace()
+    with pytest.raises(ValueError):
+        LastValuePredictor().predict(tr, -0.1)
+    with pytest.raises(ValueError):
+        LinearRegressionPredictor().predict(tr, -0.1)
+
+
+def test_linreg_extrapolates_constant_velocity_exactly():
+    tr = linear_trace(velocity=(0.8, -0.3, 0.0))
+    p = LinearRegressionPredictor().predict(tr, 0.5)
+    expected = tr.positions[-1] + 0.5 * np.array([0.8, -0.3, 0.0])
+    assert np.allclose(p.position, expected, atol=1e-9)
+
+
+def test_linreg_extrapolates_constant_yaw_rate():
+    tr = linear_trace(yaw_rate=0.6)
+    p = LinearRegressionPredictor().predict(tr, 0.5)
+    yaw, _, _ = p.orientation.to_euler()
+    expected = 0.6 * (tr.times[-1] + 0.5)
+    assert yaw == pytest.approx(expected, abs=1e-6)
+
+
+def test_linreg_handles_yaw_wraparound():
+    # Yaw crossing +pi: the unwrap must keep the extrapolation smooth.
+    n, rate = 60, 30.0
+    t = np.arange(n) / rate
+    yaw = np.pi - 0.3 + 0.4 * t  # crosses +pi during the window
+    pos = np.tile([0.0, 0.0, 1.6], (n, 1))
+    ori = np.stack([Quaternion.from_euler(y, 0, 0).as_array() for y in yaw])
+    tr = Trace(0, Device.HEADSET, t, pos, ori)
+    p = LinearRegressionPredictor().predict(tr, 0.5)
+    expected = Quaternion.from_euler(np.pi - 0.3 + 0.4 * (t[-1] + 0.5), 0, 0)
+    assert p.orientation.angle_to(expected) < 0.02
+
+
+def test_linreg_speed_clamp():
+    tr = linear_trace(velocity=(50.0, 0.0, 0.0))  # absurd glitch speed
+    pred = LinearRegressionPredictor(max_speed_mps=3.0)
+    p = pred.predict(tr, 1.0)
+    displacement = np.linalg.norm(p.position - tr.positions[-1])
+    assert displacement <= 3.0 + 1e-9
+
+
+def test_linreg_short_history_falls_back():
+    tr = linear_trace(n=1)
+    p = LinearRegressionPredictor().predict(tr, 0.5)
+    assert np.allclose(p.position, tr.positions[-1])
+
+
+def test_linreg_beats_last_value_on_moving_user():
+    """On smooth motion, regression must out-predict holding the pose."""
+    from repro.prediction import evaluate_predictor
+    from repro.traces import generate_trace
+
+    tr = generate_trace(0, Device.HEADSET, duration_s=8.0, seed=12)
+    last = evaluate_predictor(LastValuePredictor(), tr, horizon_s=0.5)
+    lin = evaluate_predictor(LinearRegressionPredictor(), tr, horizon_s=0.5)
+    assert lin.mean_position_error_m <= last.mean_position_error_m * 1.05
+
+
+def test_zero_horizon_returns_current_pose():
+    tr = linear_trace()
+    p = LinearRegressionPredictor().predict(tr, 0.0)
+    assert np.allclose(p.position, tr.positions[-1], atol=1e-9)

@@ -1,0 +1,80 @@
+"""MLP regressor and MLP viewport predictor tests."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import MlpRegressor, MlpViewportPredictor
+from repro.traces import Device, generate_trace
+
+
+def test_regressor_validation():
+    with pytest.raises(ValueError):
+        MlpRegressor(input_dim=0, output_dim=1)
+    m = MlpRegressor(input_dim=2, output_dim=1)
+    with pytest.raises(ValueError):
+        m.fit(np.zeros((5, 2)), np.zeros((4, 1)))
+
+
+def test_regressor_learns_linear_map():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(400, 3))
+    y = x @ np.array([[1.0], [-2.0], [0.5]]) + 0.3
+    m = MlpRegressor(input_dim=3, output_dim=1, hidden=16, seed=1)
+    mse = m.fit(x, y, epochs=150, lr=3e-3, seed=1)
+    assert mse < 0.05
+    pred = m.predict(x[:10])
+    assert np.mean((pred - y[:10]) ** 2) < 0.1
+
+
+def test_regressor_predict_single_row():
+    m = MlpRegressor(input_dim=2, output_dim=2, seed=0)
+    m.fit(np.random.default_rng(0).normal(size=(50, 2)), np.zeros((50, 2)), epochs=5)
+    out = m.predict(np.array([1.0, 2.0]))
+    assert out.shape == (1, 2)
+
+
+def test_viewport_predictor_requires_training():
+    predictor = MlpViewportPredictor()
+    tr = generate_trace(0, Device.PHONE, duration_s=2.0, seed=1)
+    with pytest.raises(RuntimeError):
+        predictor.predict(tr, 0.5)
+
+
+def test_viewport_predictor_trains_and_predicts():
+    traces = [
+        generate_trace(u, Device.HEADSET, duration_s=6.0, seed=2) for u in range(3)
+    ]
+    predictor = MlpViewportPredictor(seed=0)
+    mse = predictor.fit_traces(traces[:2], horizon_s=0.5, epochs=15)
+    assert np.isfinite(mse)
+    pose = predictor.predict(traces[2], 0.5)
+    # Prediction must stay near the trace (no wild extrapolation).
+    assert np.linalg.norm(pose.position - traces[2].positions[-1]) < 1.0
+
+
+def test_viewport_predictor_reasonable_accuracy():
+    from repro.prediction import evaluate_predictor
+
+    traces = [
+        generate_trace(u, Device.PHONE, duration_s=8.0, seed=3) for u in range(4)
+    ]
+    predictor = MlpViewportPredictor(seed=0)
+    predictor.fit_traces(traces[:3], horizon_s=0.5, epochs=30)
+    ev = evaluate_predictor(predictor, traces[3], horizon_s=0.5)
+    assert ev.mean_position_error_m < 0.5
+
+
+def test_viewport_predictor_short_history_fallback():
+    traces = [generate_trace(0, Device.PHONE, duration_s=4.0, seed=4)]
+    predictor = MlpViewportPredictor(seed=0)
+    predictor.fit_traces(traces, horizon_s=0.5, epochs=5)
+    short = traces[0].window(3, 4)  # shorter than window_samples
+    pose = predictor.predict(short, 0.5)
+    assert np.allclose(pose.position, short.positions[-1])
+
+
+def test_fit_rejects_too_short_traces():
+    predictor = MlpViewportPredictor()
+    tiny = generate_trace(0, Device.PHONE, duration_s=0.3, seed=5)
+    with pytest.raises(ValueError):
+        predictor.fit_traces([tiny], horizon_s=1.0)

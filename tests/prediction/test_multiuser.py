@@ -1,0 +1,114 @@
+"""Joint multi-user predictor tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Quaternion
+from repro.prediction import JointViewportPredictor, LastValuePredictor
+from repro.traces import Device, Trace, generate_user_study
+
+
+def head_on_traces(separation=0.2, n=45, rate=30.0, speed=0.5):
+    """Two users walking straight at each other along X."""
+    t = np.arange(n) / rate
+    ori_a = np.tile(Quaternion.from_euler(0, 0, 0).as_array(), (n, 1))
+    ori_b = np.tile(Quaternion.from_euler(np.pi, 0, 0).as_array(), (n, 1))
+    pos_a = np.stack(
+        [-1.0 + speed * t, np.zeros(n), np.full(n, 1.6)], axis=1
+    )
+    pos_b = np.stack(
+        [1.0 + separation - speed * t, np.zeros(n), np.full(n, 1.6)], axis=1
+    )
+    ta = Trace(0, Device.HEADSET, t, pos_a, ori_a, rate_hz=rate)
+    tb = Trace(1, Device.HEADSET, t, pos_b, ori_b, rate_hz=rate)
+    return [ta, tb]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        JointViewportPredictor(attention_pull=2.0)
+    with pytest.raises(ValueError):
+        JointViewportPredictor(personal_space_m=-1.0)
+    p = JointViewportPredictor()
+    with pytest.raises(ValueError):
+        p.predict([], 0.5)
+
+
+def test_collision_avoidance_separates_predictions():
+    histories = head_on_traces()
+    joint = JointViewportPredictor(personal_space_m=0.6, attention_pull=0.0)
+    result = joint.predict(histories, horizon_s=1.0)
+    # Independent extrapolation collides…
+    ind = result.independent_poses
+    ind_dist = np.linalg.norm(ind[0].position[:2] - ind[1].position[:2])
+    assert ind_dist < 0.6
+    # …the joint prediction keeps personal space.
+    positions = result.positions()
+    joint_dist = np.linalg.norm(positions[0, :2] - positions[1, :2])
+    assert joint_dist >= 0.6 - 1e-6
+
+
+def test_no_correction_when_users_far_apart():
+    study = generate_user_study(num_users=2, duration_s=2.0, seed=8)
+    histories = [t for t in study.traces]
+    joint = JointViewportPredictor(personal_space_m=0.1, attention_pull=0.0)
+    result = joint.predict(histories, 0.3)
+    for got, ind in zip(result.poses, result.independent_poses):
+        assert np.allclose(got.position, ind.position)
+
+
+def test_attention_pull_aligns_gaze():
+    """With full pull, the two users' view rays meet at a common point."""
+    study = generate_user_study(num_users=2, duration_s=3.0, seed=9)
+    histories = [t for t in study.traces]
+    pulled = JointViewportPredictor(attention_pull=1.0).predict(histories, 0.3)
+    free = JointViewportPredictor(attention_pull=0.0).predict(histories, 0.3)
+
+    def ray_gap(poses):
+        # Minimum distance between the two users' view rays.
+        p1, d1 = poses[0].position, poses[0].orientation.forward()
+        p2, d2 = poses[1].position, poses[1].orientation.forward()
+        n = np.cross(d1, d2)
+        if np.linalg.norm(n) < 1e-9:
+            return float(np.linalg.norm(np.cross(p2 - p1, d1)))
+        return float(abs(np.dot(p2 - p1, n / np.linalg.norm(n))))
+
+    assert ray_gap(pulled.poses) <= ray_gap(free.poses) + 1e-9
+    assert ray_gap(pulled.poses) < 0.15
+
+
+def test_single_user_passthrough():
+    study = generate_user_study(num_users=1, duration_s=2.0, seed=1)
+    joint = JointViewportPredictor()
+    result = joint.predict([study.traces[0]], 0.4)
+    assert len(result) == 1
+    assert np.allclose(
+        result.poses[0].position, result.independent_poses[0].position
+    )
+
+
+def test_custom_base_predictor():
+    study = generate_user_study(num_users=2, duration_s=2.0, seed=2)
+    joint = JointViewportPredictor(
+        base=LastValuePredictor(), attention_pull=0.0, personal_space_m=0.0
+    )
+    result = joint.predict(list(study.traces), 0.5)
+    for trace, pose in zip(study.traces, result.poses):
+        assert np.allclose(pose.position, trace.positions[-1])
+
+
+def test_joint_accuracy_not_much_worse_than_independent():
+    from repro.prediction import evaluate_joint_predictor, evaluate_predictor
+    from repro.prediction import LinearRegressionPredictor
+
+    study = generate_user_study(num_users=6, duration_s=6.0, seed=10)
+    joint_ev = evaluate_joint_predictor(
+        JointViewportPredictor(), study, horizon_s=0.5
+    )
+    base_errors = [
+        evaluate_predictor(
+            LinearRegressionPredictor(), t, horizon_s=0.5
+        ).mean_position_error_m
+        for t in study.traces
+    ]
+    assert joint_ev.mean_position_error_m < np.mean(base_errors) * 1.5

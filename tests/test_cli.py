@@ -1,0 +1,40 @@
+"""CLI smoke tests (small parameters, capture stdout)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cli_requires_experiment(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_cli_study(capsys):
+    assert main(["study", "--users", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "PH" in out and "HM" in out
+    assert "done in" in out
+
+
+def test_cli_fig3d(capsys):
+    assert main(["fig3d", "--instants", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "improvement" in out
+
+
+def test_cli_fig3b(capsys):
+    assert main(["fig3b", "--instants", "15"]) == 0
+    out = capsys.readouterr().out
+    assert "coverage@-68dBm" in out
+
+
+def test_cli_multiple_commands(capsys):
+    assert main(["fig3d", "fig3b", "--instants", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 3d" in out and "Fig. 3b" in out

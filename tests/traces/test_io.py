@@ -1,0 +1,66 @@
+"""Trace serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    generate_user_study,
+    load_study_npz,
+    save_study_npz,
+    trace_from_json,
+    trace_to_json,
+)
+
+
+def test_npz_roundtrip(tmp_path):
+    study = generate_user_study(num_users=4, duration_s=1.0, seed=2)
+    path = tmp_path / "study.npz"
+    save_study_npz(study, path)
+    loaded = load_study_npz(path)
+    assert len(loaded) == len(study)
+    assert loaded.rate_hz == study.rate_hz
+    for a, b in zip(study.traces, loaded.traces):
+        assert a.user_id == b.user_id
+        assert a.device == b.device
+        assert np.allclose(a.positions, b.positions)
+        assert np.allclose(a.orientations, b.orientations)
+        assert np.allclose(a.times, b.times)
+
+
+def test_npz_preserves_attention_model(tmp_path):
+    study = generate_user_study(num_users=2, duration_s=0.5)
+    path = tmp_path / "s.npz"
+    save_study_npz(study, path)
+    loaded = load_study_npz(path)
+    assert loaded.attention.amplitude_rad == pytest.approx(
+        study.attention.amplitude_rad
+    )
+    assert loaded.attention.period_s == pytest.approx(study.attention.period_s)
+
+
+def test_json_roundtrip():
+    study = generate_user_study(num_users=1, duration_s=0.5, seed=5)
+    trace = study.traces[0]
+    text = trace_to_json(trace)
+    back = trace_from_json(text)
+    assert back.user_id == trace.user_id
+    assert back.device == trace.device
+    assert back.rate_hz == pytest.approx(trace.rate_hz)
+    assert np.allclose(back.positions, trace.positions)
+    assert np.allclose(back.orientations, trace.orientations, atol=1e-12)
+
+
+def test_json_rejects_empty_samples():
+    with pytest.raises(ValueError):
+        trace_from_json(
+            '{"user_id": 0, "device": "PH", "rate_hz": 30.0, "samples": []}'
+        )
+
+
+def test_json_is_valid_json():
+    import json
+
+    study = generate_user_study(num_users=1, duration_s=0.2)
+    doc = json.loads(trace_to_json(study.traces[0]))
+    assert doc["device"] in ("PH", "HM")
+    assert len(doc["samples"]) == len(study.traces[0])

@@ -1,0 +1,63 @@
+"""Pose container tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Quaternion
+from repro.traces import Pose
+
+
+def pose(t=0.0, pos=(0, 0, 0), yaw=0.0):
+    return Pose(
+        t=t,
+        position=np.array(pos, dtype=float),
+        orientation=Quaternion.from_euler(yaw, 0, 0),
+    )
+
+
+def test_rejects_bad_position():
+    with pytest.raises(ValueError):
+        Pose(t=0.0, position=np.zeros(2), orientation=Quaternion.identity())
+
+
+def test_frustum_uses_pose():
+    p = pose(pos=(1, 2, 3))
+    f = p.frustum()
+    assert np.allclose(f.position, [1, 2, 3])
+    assert f.contains_point(np.array([5.0, 2, 3]))
+
+
+def test_frustum_parameters_forwarded():
+    f = pose().frustum(h_fov=1.0, v_fov=0.5, near=0.1, far=5.0)
+    assert f.h_fov == pytest.approx(1.0)
+    assert f.far == pytest.approx(5.0)
+
+
+def test_interpolate_midpoint():
+    a = pose(t=0.0, pos=(0, 0, 0), yaw=0.0)
+    b = pose(t=1.0, pos=(2, 0, 0), yaw=1.0)
+    mid = a.interpolate(b, 0.5)
+    assert mid.t == pytest.approx(0.5)
+    assert np.allclose(mid.position, [1, 0, 0])
+    yaw, _, _ = mid.orientation.to_euler()
+    assert yaw == pytest.approx(0.5, abs=1e-6)
+
+
+def test_interpolate_extrapolates_position():
+    a = pose(t=0.0, pos=(0, 0, 0))
+    b = pose(t=1.0, pos=(1, 0, 0))
+    future = a.interpolate(b, 2.0)
+    assert np.allclose(future.position, [2, 0, 0])
+
+
+def test_interpolate_degenerate_span():
+    a = pose(t=1.0, pos=(1, 1, 1))
+    b = pose(t=1.0, pos=(9, 9, 9))
+    assert a.interpolate(b, 1.0) is a
+
+
+def test_distances():
+    a = pose(pos=(0, 0, 0), yaw=0.0)
+    b = pose(pos=(3, 4, 0), yaw=0.5)
+    assert a.distance_to(b) == pytest.approx(5.0)
+    assert a.angular_distance_to(b) == pytest.approx(0.5, abs=1e-9)
