@@ -116,6 +116,25 @@ def _run_ablations(args) -> None:
         print(runner().format())
 
 
+def _run_loss_sweep(args) -> None:
+    from .experiments import LOSS_SWEEP_MODES, run_loss_sweep
+
+    _print_header("Loss sweep — transport goodput vs. packet loss")
+    modes = (
+        LOSS_SWEEP_MODES
+        if args.transport == "all"
+        else (args.transport,)
+    )
+    result = run_loss_sweep(modes=modes)
+    print(result.format())
+    if {"arq", "fec"} <= set(modes):
+        for p in result.loss_points:
+            if p >= 0.05:
+                ratio = result.goodput_ratio(p)
+                shown = "inf" if ratio == float("inf") else f"{ratio:.1f}x"
+                print(f"fec/arq goodput at {p * 100:.0f}% loss: {shown}")
+
+
 def _run_study(args) -> None:
     from .experiments import format_table
     from .traces import Device, generate_user_study
@@ -149,6 +168,7 @@ COMMANDS = {
     "fig3e": _run_fig3e,
     "scaling": _run_scaling,
     "ablations": _run_ablations,
+    "loss_sweep": _run_loss_sweep,
     "study": _run_study,
 }
 
@@ -172,6 +192,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--users", type=int, default=32, help="study size for the study command"
+    )
+    parser.add_argument(
+        "--transport",
+        choices=["ideal", "arq", "fec", "hybrid", "all"],
+        default="all",
+        help="transport mode(s) for the loss_sweep command",
     )
     args = parser.parse_args(argv)
 

@@ -60,6 +60,9 @@ class AdaptationInputs:
     rss_dbm: float | None = None
     blockage_predicted: bool = False
     visible_fraction: float = 1.0  # ViVo saving: effective bitrate multiplier
+    # Transport-layer cross-layer signals (zero under the ideal transport):
+    residual_loss_rate: float = 0.0  # fraction of recent frames lost in flight
+    retx_overhead: float = 0.0  # extra airtime spent on ARQ/FEC recovery
 
 
 @dataclass(frozen=True)
@@ -194,6 +197,7 @@ class CrossLayerPolicy:
 
     safety: float = 0.9
     prefetch_on_blockage_frames: int = 15  # prefetch 0.5 s ahead of a blockage
+    loss_backoff_threshold: float = 0.05  # residual frame loss that forces a step down
     buffer_guard: BufferAwareEstimator = field(default_factory=BufferAwareEstimator)
     predictors: dict[int, CrossLayerBandwidthPredictor] = field(default_factory=dict)
 
@@ -202,6 +206,8 @@ class CrossLayerPolicy:
             raise ValueError("safety must be in (0, 1]")
         if self.prefetch_on_blockage_frames < 0:
             raise ValueError("prefetch_on_blockage_frames must be non-negative")
+        if not 0.0 <= self.loss_backoff_threshold <= 1.0:
+            raise ValueError("loss_backoff_threshold must be in [0, 1]")
 
     def decide(self, inputs: AdaptationInputs) -> AdaptationDecision:
         predictor = self.predictors.setdefault(
@@ -216,7 +222,15 @@ class CrossLayerPolicy:
             self.buffer_guard.estimate_mbps(predicted, inputs.buffer_level_s)
             * self.safety
         )
+        # Transport feedback: airtime burned on ARQ rounds / FEC repair is
+        # airtime the video cannot use, so shrink the budget by it ...
+        if inputs.retx_overhead > 0:
+            budget /= 1.0 + inputs.retx_overhead
         quality = _best_quality_under(budget, inputs.visible_fraction)
+        # ... and residual frame loss beyond what recovery can hide means
+        # the operating point itself is too hot: step a quality down.
+        if inputs.residual_loss_rate > self.loss_backoff_threshold:
+            quality = quality_below(quality)
         prefetch = (
             self.prefetch_on_blockage_frames if inputs.blockage_predicted else 0
         )

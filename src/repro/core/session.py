@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..mac.scheduler import UserDemand, plan_frame
+from ..net import TransportConfig, TransportSimulator
 from ..pointcloud import (
     CellGrid,
     CompressionModel,
@@ -77,6 +78,9 @@ class SessionConfig:
     # targeting ``octree_points_per_leaf`` sampled points each.
     partitioner: str = "grid"
     octree_points_per_leaf: int = 300
+    # Packet-level delivery model; the "ideal" default keeps the fluid
+    # transfer-time math (and every pre-existing result) unchanged.
+    transport: TransportConfig = field(default_factory=TransportConfig)
 
     def __post_init__(self) -> None:
         if self.grouping not in ("none", "greedy", "exhaustive"):
@@ -207,19 +211,24 @@ def measure_max_fps(
     total = num_frames if num_frames is not None else config.num_frames
     total = min(total, config.num_frames)
     num_users = len(config.study)
+    transport = (
+        None if config.transport.is_ideal else TransportSimulator(config.transport)
+    )
     fps = []
     for f in range(0, total, stride):
         now_s = f / config.target_fps
         sample = min(f, config.study.num_samples - 1)
         demands = []
+        rss = []
         for u in range(num_users):
+            rss.append(config.rates.rss_dbm(u, sample))
             decision = config.adaptation.decide(
                 AdaptationInputs(
                     user_id=u,
                     buffer_level_s=0.0,
                     observed_throughput_mbps=0.0,
                     current_quality="high",
-                    rss_dbm=config.rates.rss_dbm(u, sample),
+                    rss_dbm=rss[u],
                 )
             )
             rate = config.rates.unicast_rate_mbps(u, sample)
@@ -232,7 +241,14 @@ def measure_max_fps(
                 groups=plan.groups,
                 beam_switch_overhead_s=config.beam_switch_overhead_s,
             )
-        fps.append(plan.achievable_fps(cap_fps=config.target_fps))
+        if transport is None:
+            fps.append(plan.achievable_fps(cap_fps=config.target_fps))
+        else:
+            pers = {u: transport.link_per(rss[u]) for u in range(num_users)}
+            outcome = transport.frame_outcome(
+                plan, pers, target_fps=config.target_fps
+            )
+            fps.append(outcome.effective_fps(cap_fps=config.target_fps))
     return np.array(fps)
 
 
@@ -258,6 +274,16 @@ class StreamingSession:
         self.bytes_delivered = [0.0] * n
         self._playing = [False] * n
         self._stalled = [False] * n
+        self.transport = (
+            None
+            if config.transport.is_ideal
+            else TransportSimulator(config.transport)
+        )
+        # Cross-layer loss accounting, reset each adaptation interval.
+        self._tx_attempts = [0] * n
+        self._tx_failures = [0] * n
+        self._airtime_actual = 0.0
+        self._airtime_ideal = 0.0
 
     # -- helpers ---------------------------------------------------------
 
@@ -333,10 +359,36 @@ class StreamingSession:
             if not np.isfinite(t_tx) or t_tx > 1.0:
                 yield self.env.timeout(dt)
                 continue
-            # Even an empty-payload transmission costs MAC framing time;
-            # this also guarantees simulated time always advances.
-            yield self.env.timeout(max(t_tx, 1e-5))
+            if self.transport is None:
+                # Even an empty-payload transmission costs MAC framing time;
+                # this also guarantees simulated time always advances.
+                yield self.env.timeout(max(t_tx, 1e-5))
+                delivered_users = None  # fluid delivery never loses a frame
+            else:
+                pers = {
+                    u: self.transport.link_per(config.rates.rss_dbm(u, sample))
+                    for u in users
+                }
+                t0 = self.env.now
+                outcome = yield self.env.process(
+                    self.transport.deliver(
+                        self.env, plan, pers, config.target_fps
+                    )
+                )
+                if self.env.now <= t0:
+                    yield self.env.timeout(1e-5)
+                delivered_users = {
+                    u for u, ok in outcome.delivered.items() if ok
+                }
+                self._airtime_actual += outcome.airtime_s
+                self._airtime_ideal += t_tx
+                for u in users:
+                    self._tx_attempts[u] += 1
+                    if u not in delivered_users:
+                        self._tx_failures[u] += 1
             for u, demand in zip(users, demands):
+                if delivered_users is not None and u not in delivered_users:
+                    continue  # lost frame: the user must re-request it
                 buf = self.buffers[u]
                 extra = self.prefetch_extra[u]
                 if buf.can_accept(frame_index, extra_window=extra):
@@ -401,9 +453,23 @@ class StreamingSession:
                     forecast = config.blockage_forecaster.forecast_at(
                         config.study, sample
                     )
+            if self._airtime_ideal > 0:
+                retx_overhead = max(
+                    0.0, self._airtime_actual / self._airtime_ideal - 1.0
+                )
+            else:
+                retx_overhead = 0.0
+            self._airtime_actual = 0.0
+            self._airtime_ideal = 0.0
             for u in range(len(self.buffers)):
                 throughput = self.bytes_delivered[u] * 8.0 / interval / 1e6
                 self.bytes_delivered[u] = 0.0
+                attempts = self._tx_attempts[u]
+                residual_loss = (
+                    self._tx_failures[u] / attempts if attempts else 0.0
+                )
+                self._tx_attempts[u] = 0
+                self._tx_failures[u] = 0
                 frame_hint = min(
                     self.buffers[u].next_playback_index, config.num_frames - 1
                 )
@@ -419,6 +485,8 @@ class StreamingSession:
                     visible_fraction=self.builder.visible_fraction(
                         u, frame_hint, self.env.now
                     ),
+                    residual_loss_rate=residual_loss,
+                    retx_overhead=retx_overhead,
                 )
                 decision = config.adaptation.decide(inputs)
                 if decision.quality != self.quality[u]:

@@ -1,0 +1,187 @@
+"""Block-ACK retransmission with a per-frame deadline budget.
+
+Unicast 802.11ad delivery recovers losses with block acknowledgements: the
+sender transmits a block of PDUs, collects a per-receiver bitmap, and
+retransmits the union of missed PDUs, round after round, until everyone has
+the block or the frame's deadline budget runs out.  The same mechanism
+applied to a multicast group is the "ARQ-only multicast" baseline: every
+round pays one feedback exchange *per member* (per-receiver ACKs do not
+scale) and retransmits the union of all members' losses at the group rate,
+so both the feedback overhead and the retransmission volume grow with group
+size.
+
+The round loop runs as a process on the :mod:`repro.sim` engine; each round
+races its own completion against the frame deadline with
+:func:`repro.sim.any_of`.  A round cut off by the deadline delivers nothing
+(the block is only usable once acknowledged), and members still holding
+losses at that point have missed the frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim import Environment, Event, any_of
+
+__all__ = [
+    "ArqConfig",
+    "ArqOutcome",
+    "block_arq_process",
+    "simulate_block_arq",
+    "expected_transmissions",
+]
+
+ROUND_DONE = "arq-round-done"
+
+
+@dataclass(frozen=True)
+class ArqConfig:
+    """Block-ACK parameters."""
+
+    max_rounds: int = 8
+    feedback_time_s: float = 100e-6  # one member's BAR/BA exchange per round
+    round_trip_s: float = 200e-6  # per-round turnaround/scheduling latency
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.feedback_time_s < 0 or self.round_trip_s < 0:
+            raise ValueError("ARQ latencies must be non-negative")
+
+
+@dataclass(frozen=True)
+class ArqOutcome:
+    """Result of one block's delivery attempt to one or more receivers."""
+
+    delivered: tuple[bool, ...]  # per receiver, in input order
+    airtime_s: float  # medium time consumed, including feedback
+    rounds: int  # completed rounds
+    packets_sent: int  # data PDUs, including retransmissions
+    residual_packets: tuple[int, ...]  # per receiver, still missing at stop
+
+    @property
+    def all_delivered(self) -> bool:
+        return all(self.delivered)
+
+
+def block_arq_process(
+    env: Environment,
+    rng: np.random.Generator,
+    num_packets: int,
+    pers: list[float],
+    packet_time_s: float,
+    config: ArqConfig,
+    deadline_event: Event | None = None,
+):
+    """Process: deliver ``num_packets`` to every receiver via block-ACK rounds.
+
+    ``pers`` holds one per-packet loss probability per receiver.  Each round
+    transmits the union of outstanding packets, then charges one feedback
+    slot per receiver plus the round-trip turnaround.  ``deadline_event``
+    (shared across a frame's transmission units) cuts the loop short; the
+    interrupted round is wasted airtime.
+
+    Returns an :class:`ArqOutcome` (as the process's value).
+    """
+    num_receivers = len(pers)
+    if num_receivers == 0:
+        raise ValueError("need at least one receiver")
+    if num_packets == 0:
+        return ArqOutcome(
+            delivered=(True,) * num_receivers,
+            airtime_s=0.0,
+            rounds=0,
+            packets_sent=0,
+            residual_packets=(0,) * num_receivers,
+        )
+    if packet_time_s <= 0 or not np.isfinite(packet_time_s):
+        # Dead link: nothing can be transmitted; fail without burning time.
+        return ArqOutcome(
+            delivered=(False,) * num_receivers,
+            airtime_s=0.0,
+            rounds=0,
+            packets_sent=0,
+            residual_packets=(num_packets,) * num_receivers,
+        )
+
+    needs = np.ones((num_receivers, num_packets), dtype=bool)
+    start = env.now
+    rounds = 0
+    packets_sent = 0
+    overhead_s = num_receivers * config.feedback_time_s + config.round_trip_s
+    while rounds < config.max_rounds:
+        union = needs.any(axis=0)
+        n_union = int(union.sum())
+        if n_union == 0:
+            break
+        cost = n_union * packet_time_s + overhead_s
+        round_done = env.timeout(cost, value=ROUND_DONE)
+        if deadline_event is not None:
+            winner = yield any_of(env, [round_done, deadline_event])
+        else:
+            winner = yield round_done
+        if winner != ROUND_DONE:
+            # Deadline hit mid-round: the block was never acknowledged, so
+            # the round delivers nothing and the frame is late.
+            break
+        rounds += 1
+        packets_sent += n_union
+        for r, per in enumerate(pers):
+            listening = needs[r]
+            if not listening.any():
+                continue
+            if per >= 1.0:
+                continue  # receiver hears nothing
+            if per <= 0.0:
+                needs[r] = False
+                continue
+            failures = rng.random(num_packets) < per
+            needs[r] &= failures
+    residual = tuple(int(needs[r].sum()) for r in range(num_receivers))
+    return ArqOutcome(
+        delivered=tuple(n == 0 for n in residual),
+        airtime_s=env.now - start,
+        rounds=rounds,
+        packets_sent=packets_sent,
+        residual_packets=residual,
+    )
+
+
+def simulate_block_arq(
+    rng: np.random.Generator,
+    num_packets: int,
+    pers: list[float],
+    packet_time_s: float,
+    config: ArqConfig = ArqConfig(),
+    deadline_s: float | None = None,
+) -> ArqOutcome:
+    """Run :func:`block_arq_process` to completion on a private clock."""
+    env = Environment()
+    deadline_event = (
+        env.timeout(deadline_s, value="deadline") if deadline_s is not None else None
+    )
+    holder: dict[str, ArqOutcome] = {}
+
+    def runner():
+        holder["outcome"] = yield from block_arq_process(
+            env, rng, num_packets, pers, packet_time_s, config, deadline_event
+        )
+
+    env.process(runner())
+    env.run_until_empty()
+    return holder["outcome"]
+
+
+def expected_transmissions(per: float, max_rounds: int | None = None) -> float:
+    """Mean transmissions per packet under independent loss ``per``.
+
+    Unlimited rounds give the classic ``1 / (1 - per)``; with a round cap
+    the geometric series truncates.
+    """
+    if not 0.0 <= per < 1.0:
+        raise ValueError("per must be in [0, 1)")
+    if max_rounds is None:
+        return 1.0 / (1.0 - per)
+    return float(sum(per**r for r in range(max_rounds)))

@@ -1,0 +1,323 @@
+"""Packet-level delivery of a frame plan: goodput + residual-loss outcomes.
+
+The fluid scheduler (:mod:`repro.mac.scheduler`) prices a frame plan as
+``bytes / rate`` — delivery always succeeds, loss only slows it down.  The
+:class:`TransportSimulator` replaces that math with a packet-level pipeline
+run as processes on the :mod:`repro.sim` engine:
+
+1. each transmission unit (a group's shared cells, a member's residual
+   cells, a solo user's frame) is packetized into MTU-sized PDUs;
+2. each PDU is lost independently with the link's per-packet error
+   probability (:mod:`repro.net.errormodel`);
+3. losses are recovered per the configured mode — block-ACK ARQ rounds
+   (:mod:`repro.net.arq`) or proactive rateless FEC (:mod:`repro.net.fec`)
+   — all racing one shared frame-deadline event;
+4. the outcome is *effective goodput* (airtime actually burned, including
+   feedback, retransmissions, and repair packets) plus *residual frame
+   loss* (members whose frame did not completely arrive in time).
+
+``mode="ideal"`` bypasses all of it and reproduces the fluid numbers
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mac.scheduler import FramePlan
+from ..sim import Environment, Event, any_of
+from .arq import block_arq_process
+from .config import TransportConfig
+from .fec import sample_decodes, total_packets_needed
+from .packetization import PacketizedUnit, packetize_cells
+
+__all__ = ["FrameOutcome", "TransportSimulator", "DEADLINE", "TX_DONE"]
+
+DEADLINE = "frame-deadline"
+TX_DONE = "tx-done"
+
+
+@dataclass
+class FrameOutcome:
+    """What actually happened to one frame's delivery."""
+
+    airtime_s: float
+    delivered: dict[int, bool]  # user id -> frame fully arrived in time
+    app_bytes_delivered: float
+    wire_bytes_sent: float
+    packets_sent: int
+    arq_rounds: int
+    residual_loss: float  # fraction of users whose frame was lost
+    retx_overhead: float  # extra airtime vs. the fluid model, as a fraction
+
+    @property
+    def delivered_fraction(self) -> float:
+        if not self.delivered:
+            return 1.0
+        return sum(self.delivered.values()) / len(self.delivered)
+
+    def effective_fps(self, cap_fps: float = 30.0) -> float:
+        """Frame rate this delivery sustains, averaged over users.
+
+        A user who got the frame sustains ``1 / airtime``; a user who lost
+        it sustains 0 for this frame — the mean is
+        ``delivered_fraction / airtime``.
+        """
+        frac = self.delivered_fraction
+        if self.airtime_s <= 0:
+            return cap_fps if frac > 0 else 0.0
+        return min(cap_fps, frac / self.airtime_s)
+
+
+class TransportSimulator:
+    """Delivers :class:`~repro.mac.scheduler.FramePlan`\\ s over lossy links."""
+
+    def __init__(
+        self, config: TransportConfig, rng: np.random.Generator | None = None
+    ) -> None:
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng(config.seed)
+
+    def reseed(self, seed: int | None = None) -> None:
+        """Reset the loss-sampling stream (for reproducible re-runs)."""
+        self.rng = np.random.default_rng(
+            self.config.seed if seed is None else seed
+        )
+
+    def link_per(self, rss_dbm: float | None = None, blocked: bool = False) -> float:
+        """Per-packet loss for a link, via the configured error model."""
+        return self.config.error_model.per(rss_dbm=rss_dbm, blocked=blocked)
+
+    # -- delivery --------------------------------------------------------
+
+    def frame_outcome(
+        self, plan: FramePlan, pers: dict[int, float], target_fps: float = 30.0
+    ) -> FrameOutcome:
+        """Synchronously deliver one frame plan on a private clock."""
+        env = Environment()
+        holder: dict[str, FrameOutcome] = {}
+
+        def runner():
+            holder["outcome"] = yield from self.deliver(env, plan, pers, target_fps)
+
+        env.process(runner())
+        env.run_until_empty()
+        return holder["outcome"]
+
+    def deliver(
+        self,
+        env: Environment,
+        plan: FramePlan,
+        pers: dict[int, float],
+        target_fps: float = 30.0,
+    ):
+        """Process: deliver ``plan``; returns a :class:`FrameOutcome`.
+
+        ``pers`` maps user id -> per-packet loss probability.  All of the
+        plan's transmission units share one deadline budget of
+        ``deadline_frames / target_fps`` seconds, serialized in plan order
+        (multicast groups first, then their residuals, then solo users) —
+        the packet-level analogue of the fluid model's summed airtime.
+        """
+        demands = plan.demands
+        if self.config.is_ideal:
+            t = plan.total_time_s()
+            ok = bool(np.isfinite(t))
+            if ok and t > 0:
+                yield env.timeout(t)
+            delivered = {u: ok for u in demands}
+            app = sum(d.total_bytes for d in demands.values()) if ok else 0.0
+            return FrameOutcome(
+                airtime_s=t if ok else 0.0,
+                delivered=delivered,
+                app_bytes_delivered=app,
+                wire_bytes_sent=app,
+                packets_sent=0,
+                arq_rounds=0,
+                residual_loss=0.0 if ok else 1.0,
+                retx_overhead=0.0,
+            )
+
+        start = env.now
+        deadline_event = env.timeout(
+            self.config.deadline_s(target_fps), value=DEADLINE
+        )
+        stats = _DeliveryStats()
+        delivered: dict[int, bool] = {}
+        pk = self.config.packetization
+        overhead_s = plan.beam_switch_overhead_s
+
+        for members, rate in plan.groups:
+            group_demands = [demands[m] for m in members]
+            shared_cells = set(group_demands[0].cell_bytes)
+            for d in group_demands[1:]:
+                shared_cells &= set(d.cell_bytes)
+            shared_map = {
+                c: max(d.cell_bytes[c] for d in group_demands)
+                for c in shared_cells
+            }
+            shared_unit = packetize_cells(shared_map, pk)
+            member_pers = [pers.get(m, 0.0) for m in members]
+            if overhead_s > 0:
+                yield env.timeout(overhead_s)
+            if self.config.multicast_scheme() == "arq":
+                ok = yield from self._arq_unit(
+                    env, shared_unit, rate, member_pers, deadline_event, stats
+                )
+            else:
+                ok = yield from self._fec_unit(
+                    env, shared_unit, rate, member_pers, deadline_event, stats
+                )
+            for m, shared_ok, demand in zip(members, ok, group_demands):
+                residual_map = {
+                    c: b
+                    for c, b in demand.cell_bytes.items()
+                    if c not in shared_cells
+                }
+                if not shared_ok:
+                    # The frame is unusable without its shared cells; the
+                    # member's NACK suppresses the pointless residual leg.
+                    delivered[m] = False
+                    continue
+                if not residual_map:
+                    delivered[m] = True
+                    continue
+                if overhead_s > 0:
+                    yield env.timeout(overhead_s)
+                delivered[m] = yield from self._unicast_leg(
+                    env,
+                    packetize_cells(residual_map, pk),
+                    demand.unicast_rate_mbps,
+                    pers.get(m, 0.0),
+                    deadline_event,
+                    stats,
+                )
+
+        for u in plan.solo_users:
+            demand = demands[u]
+            if overhead_s > 0:
+                yield env.timeout(overhead_s)
+            delivered[u] = yield from self._unicast_leg(
+                env,
+                packetize_cells(demand.cell_bytes, pk),
+                demand.unicast_rate_mbps,
+                pers.get(u, 0.0),
+                deadline_event,
+                stats,
+            )
+
+        airtime = env.now - start
+        num_users = len(demands)
+        losses = sum(1 for ok in delivered.values() if not ok)
+        app_delivered = sum(
+            demands[u].total_bytes for u, ok in delivered.items() if ok
+        )
+        ideal_t = plan.total_time_s()
+        if np.isfinite(ideal_t) and ideal_t > 0:
+            retx_overhead = max(0.0, airtime / ideal_t - 1.0)
+        else:
+            retx_overhead = 0.0
+        return FrameOutcome(
+            airtime_s=airtime,
+            delivered=delivered,
+            app_bytes_delivered=app_delivered,
+            wire_bytes_sent=stats.wire_bytes,
+            packets_sent=stats.packets,
+            arq_rounds=stats.arq_rounds,
+            residual_loss=(losses / num_users) if num_users else 0.0,
+            retx_overhead=retx_overhead,
+        )
+
+    # -- transmission units ---------------------------------------------
+
+    def _unicast_leg(self, env, unit, rate, per, deadline_event, stats):
+        if self.config.unicast_scheme() == "arq":
+            ok = yield from self._arq_unit(
+                env, unit, rate, [per], deadline_event, stats
+            )
+        else:
+            ok = yield from self._fec_unit(
+                env, unit, rate, [per], deadline_event, stats
+            )
+        return ok[0]
+
+    def _arq_unit(
+        self,
+        env: Environment,
+        unit: PacketizedUnit,
+        rate_mbps: float,
+        member_pers: list[float],
+        deadline_event: Event,
+        stats: "_DeliveryStats",
+    ):
+        if unit.num_packets == 0:
+            return (True,) * len(member_pers)
+        packet_time = _packet_time_s(unit, rate_mbps)
+        outcome = yield env.process(
+            block_arq_process(
+                env,
+                self.rng,
+                unit.num_packets,
+                member_pers,
+                packet_time,
+                self.config.arq,
+                deadline_event,
+            )
+        )
+        stats.packets += outcome.packets_sent
+        stats.wire_bytes += outcome.packets_sent * _mean_packet_bytes(unit)
+        stats.arq_rounds += outcome.rounds
+        return outcome.delivered
+
+    def _fec_unit(
+        self,
+        env: Environment,
+        unit: PacketizedUnit,
+        rate_mbps: float,
+        member_pers: list[float],
+        deadline_event: Event,
+        stats: "_DeliveryStats",
+    ):
+        k = unit.num_packets
+        if k == 0:
+            return (True,) * len(member_pers)
+        packet_time = _packet_time_s(unit, rate_mbps)
+        if not np.isfinite(packet_time):
+            return (False,) * len(member_pers)
+        # The weakest member sets the repair budget.
+        n = total_packets_needed(k, max(member_pers), self.config.fec)
+        airtime = n * packet_time
+        unit_start = env.now
+        winner = yield any_of(
+            env, [env.timeout(airtime, value=TX_DONE), deadline_event]
+        )
+        if winner == TX_DONE:
+            n_sent = n
+        else:
+            # Deadline truncated the block; decoding degrades gracefully
+            # with however many PDUs made it out.
+            n_sent = int(n * (env.now - unit_start) / airtime) if airtime > 0 else 0
+        stats.packets += n_sent
+        stats.wire_bytes += n_sent * _mean_packet_bytes(unit)
+        return sample_decodes(self.rng, k, n_sent, member_pers, self.config.fec)
+
+
+@dataclass
+class _DeliveryStats:
+    packets: int = 0
+    wire_bytes: float = 0.0
+    arq_rounds: int = 0
+
+
+def _mean_packet_bytes(unit: PacketizedUnit) -> float:
+    if unit.num_packets == 0:
+        return 0.0
+    return unit.wire_bytes / unit.num_packets
+
+
+def _packet_time_s(unit: PacketizedUnit, rate_mbps: float) -> float:
+    if rate_mbps <= 0:
+        return float("inf")
+    return _mean_packet_bytes(unit) * 8.0 / (rate_mbps * 1e6)

@@ -1,5 +1,21 @@
 """Minimal discrete-event simulation engine (simpy-like subset)."""
 
-from .engine import Environment, Event, Process, SimulationError, Timeout, all_of
+from .engine import (
+    Environment,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+    all_of,
+    any_of,
+)
 
-__all__ = ["Environment", "Event", "Process", "SimulationError", "Timeout", "all_of"]
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "all_of",
+    "any_of",
+]

@@ -26,7 +26,15 @@ import heapq
 import itertools
 from typing import Any, Generator, Iterable
 
-__all__ = ["Environment", "Event", "Timeout", "Process", "SimulationError"]
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "SimulationError",
+    "all_of",
+    "any_of",
+]
 
 
 class SimulationError(RuntimeError):
@@ -162,20 +170,50 @@ class Environment:
 
 
 def all_of(env: Environment, events: Iterable[Event]) -> Event:
-    """An event that fires once every listed event has fired."""
+    """An event that fires once every listed event has fired.
+
+    The combined event's value is the list of the listed events' values, in
+    input order (a process's value is its return value).
+    """
     events = list(events)
     done = env.event()
+    values: list[Any] = [None] * len(events)
     remaining = len(events)
     if remaining == 0:
-        done.succeed()
+        done.succeed([])
+        return done
+
+    def waiter(index, ev):
+        value = yield ev
+        nonlocal remaining
+        values[index] = value
+        remaining -= 1
+        if remaining == 0 and not done.triggered:
+            done.succeed(list(values))
+
+    for index, ev in enumerate(events):
+        env.process(waiter(index, ev))
+    return done
+
+
+def any_of(env: Environment, events: Iterable[Event]) -> Event:
+    """An event that fires as soon as *any* listed event fires.
+
+    First event wins: the combined event's value is the winner's value.
+    Ties at equal times resolve in input order (FIFO scheduling).  Used for
+    deadline races — e.g. an ARQ round against its frame deadline.  Losing
+    events are left untouched and may still fire later.
+    """
+    events = list(events)
+    done = env.event()
+    if not events:
+        done.succeed(None)
         return done
 
     def waiter(ev):
-        yield ev
-        nonlocal remaining
-        remaining -= 1
-        if remaining == 0 and not done.triggered:
-            done.succeed()
+        value = yield ev
+        if not done.triggered:
+            done.succeed(value)
 
     for ev in events:
         env.process(waiter(ev))

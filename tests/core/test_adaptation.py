@@ -138,3 +138,66 @@ def test_proactive_prefetch_policy():
         ProactivePrefetchPolicy(quality="nope")
     with pytest.raises(ValueError):
         ProactivePrefetchPolicy(prefetch_frames=-1)
+
+
+def test_crosslayer_retx_overhead_shrinks_budget():
+    # A link whose airtime is half recovery traffic only has half the
+    # app-layer budget; the policy must not pick a quality the goodput
+    # cannot carry.
+    policy = CrossLayerPolicy(safety=1.0)
+    clean = policy.decide(
+        inputs(buffer_level_s=5.0, observed_throughput_mbps=400.0)
+    )
+    policy2 = CrossLayerPolicy(safety=1.0)
+    lossy = policy2.decide(
+        inputs(
+            buffer_level_s=5.0,
+            observed_throughput_mbps=400.0,
+            retx_overhead=3.0,
+        )
+    )
+    order = ("low", "medium", "high")
+    assert order.index(lossy.quality) < order.index(clean.quality)
+
+
+def test_crosslayer_residual_loss_steps_down():
+    policy = CrossLayerPolicy(safety=1.0)
+    clean = policy.decide(
+        inputs(buffer_level_s=5.0, observed_throughput_mbps=400.0)
+    )
+    policy2 = CrossLayerPolicy(safety=1.0)
+    lossy = policy2.decide(
+        inputs(
+            buffer_level_s=5.0,
+            observed_throughput_mbps=400.0,
+            residual_loss_rate=0.2,
+        )
+    )
+    assert lossy.quality == quality_below(clean.quality)
+
+
+def test_crosslayer_loss_below_threshold_ignored():
+    policy = CrossLayerPolicy(safety=1.0)
+    clean = policy.decide(
+        inputs(buffer_level_s=5.0, observed_throughput_mbps=400.0)
+    )
+    policy2 = CrossLayerPolicy(safety=1.0)
+    mild = policy2.decide(
+        inputs(
+            buffer_level_s=5.0,
+            observed_throughput_mbps=400.0,
+            residual_loss_rate=0.01,  # under the 5% backoff threshold
+        )
+    )
+    assert mild.quality == clean.quality
+
+
+def test_crosslayer_loss_threshold_validation():
+    with pytest.raises(ValueError):
+        CrossLayerPolicy(loss_backoff_threshold=1.5)
+
+
+def test_transport_signals_default_to_clean():
+    # Policies unaware of the transport fields keep their old behavior.
+    assert inputs().residual_loss_rate == 0.0
+    assert inputs().retx_overhead == 0.0

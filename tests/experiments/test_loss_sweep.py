@@ -1,0 +1,57 @@
+"""Loss-sweep experiment runner (small parameters)."""
+
+import pytest
+
+from repro.experiments import run_loss_sweep
+
+
+def _tiny(**kwargs):
+    defaults = dict(
+        num_frames=4, num_users=3, num_cells=8, loss_points=(0.0, 0.05)
+    )
+    defaults.update(kwargs)
+    return run_loss_sweep(**defaults)
+
+
+def test_shapes_and_ranges():
+    result = _tiny()
+    assert result.modes == ("ideal", "arq", "fec", "hybrid")
+    assert result.loss_points == (0.0, 0.05)
+    for mode in result.modes:
+        for p in result.loss_points:
+            assert result.goodput_mbps[mode][p] >= 0.0
+            assert 0.0 <= result.effective_fps[mode][p] <= 30.0
+            assert 0.0 <= result.frame_delivery_rate[mode][p] <= 1.0
+
+
+def test_ideal_ignores_loss():
+    result = _tiny()
+    assert result.goodput_mbps["ideal"][0.0] == result.goodput_mbps["ideal"][0.05]
+    assert result.frame_delivery_rate["ideal"][0.05] == 1.0
+
+
+def test_deterministic():
+    assert _tiny().goodput_mbps == _tiny().goodput_mbps
+
+
+def test_goodput_ratio():
+    result = _tiny()
+    assert result.goodput_ratio(0.0, over="ideal", under="ideal") == 1.0
+    ratio = result.goodput_ratio(0.05)
+    assert ratio >= 1.0  # FEC never does worse than ARQ at 5% here
+
+
+def test_mode_subset_and_validation():
+    result = run_loss_sweep(
+        modes=("fec",), loss_points=(0.1,), num_frames=2, num_users=2, num_cells=4
+    )
+    assert result.modes == ("fec",)
+    with pytest.raises(ValueError):
+        run_loss_sweep(modes=("smoke-signals",))
+    with pytest.raises(ValueError):
+        run_loss_sweep(airtime_fraction=0.0)
+
+
+def test_format_renders_table():
+    text = _tiny().format()
+    assert "loss" in text and "fec Mbps|fps" in text

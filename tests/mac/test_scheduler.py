@@ -151,3 +151,61 @@ def test_empty_demand_plan():
     plan = plan_frame([demand(0, {})])
     assert plan.total_time_s() == 0.0
     assert plan.achievable_fps() == 30.0
+
+
+def test_empty_demand_list():
+    """No users at all: an empty plan costs nothing and blocks nothing."""
+    plan = plan_frame([])
+    assert plan.demands == {}
+    assert plan.solo_users == []
+    assert plan.grouped_users == set()
+    assert plan.total_time_s() == 0.0
+    assert plan.achievable_fps() == 30.0
+    assert plan.satisfies(30.0)
+
+
+def test_zero_rate_member_in_multicast_group():
+    """A member in outage can't receive its residuals: time is infinite."""
+    demands = [
+        demand(0, {1: 1000.0, 2: 500.0}, rate=400.0),
+        demand(1, {1: 1000.0, 3: 500.0}, rate=0.0),  # outage
+    ]
+    plan = plan_frame(demands, groups=[((0, 1), 400.0)])
+    assert plan.total_time_s() == float("inf")
+    assert plan.achievable_fps() == 0.0
+    assert not plan.satisfies(1.0)
+
+
+def test_zero_multicast_rate_group():
+    """A group whose shared transmission has no rate never finishes."""
+    demands = [
+        demand(0, {1: 1000.0}, rate=400.0),
+        demand(1, {1: 1000.0}, rate=400.0),
+    ]
+    plan = plan_frame(demands, groups=[((0, 1), 0.0)])
+    assert plan.total_time_s() == float("inf")
+    assert plan.achievable_fps() == 0.0
+
+
+def test_single_user_group_degenerates_to_unicast():
+    """A 1-member group's T_m(k) equals plain unicast for that user.
+
+    All of the member's cells are "shared", go out once at the group rate,
+    and leave no residuals — only beam-switch accounting differs (the
+    degenerate group pays the extra residual-phase switch).
+    """
+    d = demand(0, {1: 4000.0, 2: 1000.0}, rate=400.0)
+    grouped = plan_frame([d], groups=[((0,), 400.0)])
+    solo = plan_frame([d])
+    assert grouped.total_time_s() == pytest.approx(solo.total_time_s())
+    assert grouped.grouped_users == {0}
+    assert solo.solo_users == [0]
+    # With per-transmission overhead the degenerate group is strictly
+    # worse: 1 multicast + 1 residual slot vs. a single unicast slot.
+    grouped_oh = plan_frame(
+        [d], groups=[((0,), 400.0)], beam_switch_overhead_s=1e-3
+    )
+    solo_oh = plan_frame([d], beam_switch_overhead_s=1e-3)
+    assert grouped_oh.total_time_s() == pytest.approx(
+        solo_oh.total_time_s() + 1e-3
+    )

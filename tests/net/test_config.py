@@ -1,0 +1,58 @@
+"""Transport configuration and presets."""
+
+import pytest
+
+from repro.net import TRANSPORT_MODES, TransportConfig
+
+
+def test_default_is_ideal():
+    cfg = TransportConfig()
+    assert cfg.mode == "ideal"
+    assert cfg.is_ideal
+
+
+def test_mode_validation():
+    with pytest.raises(ValueError):
+        TransportConfig(mode="carrier-pigeon")
+    with pytest.raises(ValueError):
+        TransportConfig(deadline_frames=0.0)
+
+
+def test_deadline_seconds():
+    assert TransportConfig().deadline_s(30.0) == pytest.approx(1 / 30)
+    assert TransportConfig(deadline_frames=2.0).deadline_s(30.0) == pytest.approx(
+        2 / 30
+    )
+    with pytest.raises(ValueError):
+        TransportConfig().deadline_s(0.0)
+
+
+@pytest.mark.parametrize("mode", TRANSPORT_MODES)
+def test_presets_round_trip(mode):
+    cfg = TransportConfig.preset(mode, base_per=0.05)
+    assert cfg.mode == mode
+    if mode != "ideal":
+        assert cfg.error_model.base_per == 0.05
+
+
+def test_preset_rejects_unknown():
+    with pytest.raises(ValueError):
+        TransportConfig.preset("bogus")
+
+
+def test_scheme_selection():
+    # ARQ-only uses ARQ everywhere; FEC-only uses FEC everywhere; hybrid
+    # splits: FEC where per-receiver ACKs don't scale, ARQ for unicast.
+    assert TransportConfig.arq_only().multicast_scheme() == "arq"
+    assert TransportConfig.arq_only().unicast_scheme() == "arq"
+    assert TransportConfig.fec_only().multicast_scheme() == "fec"
+    assert TransportConfig.fec_only().unicast_scheme() == "fec"
+    assert TransportConfig.hybrid().multicast_scheme() == "fec"
+    assert TransportConfig.hybrid().unicast_scheme() == "arq"
+
+
+def test_with_base_per():
+    cfg = TransportConfig.hybrid().with_base_per(0.2)
+    assert cfg.error_model.base_per == 0.2
+    assert cfg.mode == "hybrid"
+    assert cfg.with_base_per(None).error_model.base_per is None

@@ -1,0 +1,178 @@
+"""The TransportSimulator: frame plans over lossy links."""
+
+import pytest
+
+from repro.mac.scheduler import UserDemand, plan_frame
+from repro.net import TransportConfig, TransportSimulator
+
+
+def _unicast_plan(nbytes=150_000.0, rate=1000.0, num_users=1, overhead=0.0):
+    demands = [
+        UserDemand(user_id=u, cell_bytes={0: nbytes}, unicast_rate_mbps=rate)
+        for u in range(num_users)
+    ]
+    return plan_frame(demands, beam_switch_overhead_s=overhead)
+
+
+def _multicast_plan(
+    nbytes=150_000.0, rate=1000.0, num_users=3, residual_bytes=0.0
+):
+    demands = []
+    for u in range(num_users):
+        cells = {0: nbytes}
+        if residual_bytes > 0:
+            cells[100 + u] = residual_bytes  # private cell per member
+        demands.append(
+            UserDemand(user_id=u, cell_bytes=cells, unicast_rate_mbps=rate)
+        )
+    return plan_frame(demands, groups=[(tuple(range(num_users)), rate)])
+
+
+def test_ideal_mode_matches_fluid_model_exactly():
+    plan = _multicast_plan(residual_bytes=20_000.0)
+    sim = TransportSimulator(TransportConfig.ideal())
+    out = sim.frame_outcome(plan, {u: 0.5 for u in range(3)})
+    assert out.airtime_s == plan.total_time_s()  # bit-for-bit
+    assert all(out.delivered.values())
+    assert out.residual_loss == 0.0
+    assert out.retx_overhead == 0.0
+    assert out.effective_fps(cap_fps=30.0) == min(30.0, 1 / out.airtime_s)
+
+
+def test_ideal_mode_zero_rate_is_total_loss():
+    plan = _unicast_plan(rate=0.0)
+    sim = TransportSimulator(TransportConfig.ideal())
+    out = sim.frame_outcome(plan, {0: 0.0})
+    assert not any(out.delivered.values())
+    assert out.residual_loss == 1.0
+
+
+def test_clean_links_deliver_with_header_tax_only():
+    plan = _unicast_plan(nbytes=1_500_000.0)
+    sim = TransportSimulator(TransportConfig.hybrid(base_per=0.0))
+    out = sim.frame_outcome(plan, {0: 0.0})
+    assert all(out.delivered.values())
+    # Packet headers and ARQ feedback cost a little over the fluid time...
+    assert out.airtime_s > plan.total_time_s()
+    # ...but only a few percent at MTU-sized PDUs.
+    assert out.retx_overhead < 0.08
+
+
+def test_lossy_unicast_arq_recovers():
+    plan = _unicast_plan()
+    sim = TransportSimulator(TransportConfig.hybrid(base_per=0.05))
+    sim.reseed(1)
+    out = sim.frame_outcome(plan, {0: 0.05})
+    assert all(out.delivered.values())
+    assert out.arq_rounds >= 2
+    assert out.retx_overhead > 0.0
+
+
+def test_multicast_arq_collapses_fec_survives():
+    # Base airtime ~90% of the deadline: one ARQ retransmission round of a
+    # 3-member union at 10% loss cannot fit, FEC's ~13% repair cannot
+    # either -- but FEC degrades gracefully while ARQ delivers nothing.
+    rate = 1000.0
+    nbytes = 0.9 * (1 / 30) * rate * 1e6 / 8
+    plan = _multicast_plan(nbytes=nbytes, rate=rate, num_users=3)
+    pers = {u: 0.10 for u in range(3)}
+
+    arq = TransportSimulator(TransportConfig.arq_only(base_per=0.10))
+    arq.reseed(0)
+    arq_out = arq.frame_outcome(plan, pers)
+    assert not any(arq_out.delivered.values())
+
+    fec = TransportSimulator(TransportConfig.fec_only(base_per=0.10))
+    fec.reseed(0)
+    fec_out = fec.frame_outcome(plan, pers)
+    assert fec_out.app_bytes_delivered >= arq_out.app_bytes_delivered
+
+
+def test_failed_shared_leg_suppresses_residual():
+    # Member links are dead: the shared multicast leg fails for everyone,
+    # so no residual unicast airtime is spent on unusable frames.
+    plan = _multicast_plan(residual_bytes=50_000.0)
+    sim = TransportSimulator(TransportConfig.hybrid(base_per=1.0))
+    out = sim.frame_outcome(plan, {u: 1.0 for u in range(3)})
+    assert not any(out.delivered.values())
+    # All wire bytes belong to the shared FEC block (at the repair cap for
+    # an outage-grade link); no residual-leg packets were transmitted.
+    from repro.net import packetize_cells, total_packets_needed
+
+    shared = packetize_cells({0: 150_000.0})
+    n_cap = total_packets_needed(shared.num_packets, 1.0)
+    assert out.packets_sent == n_cap
+    assert out.wire_bytes_sent == pytest.approx(
+        n_cap * shared.wire_bytes / shared.num_packets
+    )
+
+
+def test_solo_and_group_mix():
+    demands = [
+        UserDemand(user_id=0, cell_bytes={0: 10_000.0}, unicast_rate_mbps=500.0),
+        UserDemand(user_id=1, cell_bytes={0: 10_000.0}, unicast_rate_mbps=500.0),
+        UserDemand(user_id=2, cell_bytes={5: 8_000.0}, unicast_rate_mbps=500.0),
+    ]
+    plan = plan_frame(demands, groups=[((0, 1), 500.0)])
+    sim = TransportSimulator(TransportConfig.hybrid(base_per=0.0))
+    out = sim.frame_outcome(plan, {u: 0.0 for u in range(3)})
+    assert out.delivered == {0: True, 1: True, 2: True}
+    assert out.app_bytes_delivered == pytest.approx(28_000.0)
+
+
+def test_beam_switch_overhead_charged():
+    plan_a = _unicast_plan(overhead=0.0)
+    plan_b = _unicast_plan(overhead=1e-3)
+    sim = TransportSimulator(TransportConfig.hybrid(base_per=0.0))
+    a = sim.frame_outcome(plan_a, {0: 0.0})
+    b = sim.frame_outcome(plan_b, {0: 0.0})
+    assert b.airtime_s == pytest.approx(a.airtime_s + 1e-3)
+
+
+def test_reseed_makes_runs_reproducible():
+    plan = _multicast_plan()
+    sim = TransportSimulator(TransportConfig.hybrid(base_per=0.05))
+    sim.reseed(7)
+    a = sim.frame_outcome(plan, {u: 0.05 for u in range(3)})
+    sim.reseed(7)
+    b = sim.frame_outcome(plan, {u: 0.05 for u in range(3)})
+    assert a == b
+
+
+def test_link_per_uses_error_model():
+    from repro.net import per_for_rss
+
+    sim = TransportSimulator(TransportConfig.hybrid())
+    assert sim.link_per(rss_dbm=-68.0) == pytest.approx(0.05)
+    assert sim.link_per(rss_dbm=-54.5) == pytest.approx(per_for_rss(-54.5))
+    assert sim.link_per(rss_dbm=-54.5) < 0.05  # 0.5 dB over the -55 knee
+    assert sim.link_per(blocked=True) >= 0.9
+    fixed = TransportSimulator(TransportConfig.hybrid(base_per=0.2))
+    assert fixed.link_per(rss_dbm=-55.0) == 0.2
+
+
+def test_effective_fps_edge_cases():
+    from repro.net import FrameOutcome
+
+    lost = FrameOutcome(
+        airtime_s=0.0,
+        delivered={0: False},
+        app_bytes_delivered=0.0,
+        wire_bytes_sent=0.0,
+        packets_sent=0,
+        arq_rounds=0,
+        residual_loss=1.0,
+        retx_overhead=0.0,
+    )
+    assert lost.effective_fps() == 0.0
+    fast = FrameOutcome(
+        airtime_s=1e-6,
+        delivered={0: True},
+        app_bytes_delivered=1.0,
+        wire_bytes_sent=1.0,
+        packets_sent=1,
+        arq_rounds=1,
+        residual_loss=0.0,
+        retx_overhead=0.0,
+    )
+    assert fast.effective_fps(cap_fps=30.0) == 30.0

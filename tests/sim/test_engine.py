@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, SimulationError, all_of
+from repro.sim import Environment, SimulationError, all_of, any_of
 
 
 def test_timeout_advances_clock():
@@ -203,3 +203,78 @@ def test_interleaved_processes_share_clock():
     assert (1.0, "fast") in log
     assert (1.5, "slow") in log
     assert (3.0, "slow") in log
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+    collected = []
+
+    def worker(env, d):
+        yield env.timeout(d)
+        return d
+
+    procs = [env.process(worker(env, d)) for d in (3.0, 1.0, 2.0)]
+
+    def waiter(env):
+        values = yield all_of(env, procs)
+        collected.append(values)
+
+    env.process(waiter(env))
+    env.run()
+    # Values land in argument order, not completion order.
+    assert collected == [[3.0, 1.0, 2.0]]
+
+
+def test_any_of_returns_first_value():
+    env = Environment()
+    got = []
+
+    def waiter(env):
+        winner = yield any_of(
+            env,
+            [env.timeout(2.0, value="slow"), env.timeout(1.0, value="fast")],
+        )
+        got.append((env.now, winner))
+
+    env.process(waiter(env))
+    env.run()
+    assert got == [(1.0, "fast")]
+
+
+def test_any_of_tie_breaks_fifo():
+    env = Environment()
+    got = []
+
+    def waiter(env):
+        winner = yield any_of(
+            env,
+            [env.timeout(1.0, value="first"), env.timeout(1.0, value="second")],
+        )
+        got.append(winner)
+
+    env.process(waiter(env))
+    env.run()
+    assert got == ["first"]
+
+
+def test_any_of_empty_fires_immediately():
+    env = Environment()
+    ev = any_of(env, [])
+    assert ev.triggered
+
+
+def test_any_of_losers_keep_running():
+    env = Environment()
+    log = []
+
+    def slow(env):
+        yield env.timeout(5.0)
+        log.append("slow-done")
+
+    def waiter(env):
+        yield any_of(env, [env.timeout(1.0), env.process(slow(env))])
+        log.append("winner")
+
+    env.process(waiter(env))
+    env.run()
+    assert log == ["winner", "slow-done"]

@@ -38,3 +38,18 @@ def test_cli_multiple_commands(capsys):
     assert main(["fig3d", "fig3b", "--instants", "10"]) == 0
     out = capsys.readouterr().out
     assert "Fig. 3d" in out and "Fig. 3b" in out
+
+
+def test_cli_loss_sweep(capsys):
+    assert main(["loss_sweep"]) == 0
+    out = capsys.readouterr().out
+    assert "Loss sweep" in out
+    assert "fec/arq goodput at 5% loss" in out
+
+
+def test_cli_loss_sweep_single_mode(capsys):
+    assert main(["loss_sweep", "--transport", "fec"]) == 0
+    out = capsys.readouterr().out
+    assert "fec Mbps|fps" in out
+    assert "arq Mbps|fps" not in out
+    assert "fec/arq" not in out  # ratio needs both modes
