@@ -22,9 +22,9 @@ def test_fig3d(benchmark, print_result):
     xs_d, ps_d = empirical_cdf(result.default_rss)
     xs_c, ps_c = empirical_cdf(result.custom_rss)
     lines = [
-        f"default  common RSS: p25/p50/p75 = "
+        "default  common RSS: p25/p50/p75 = "
         + "/".join(f"{np.percentile(result.default_rss, q):.1f}" for q in (25, 50, 75)),
-        f"custom   common RSS: p25/p50/p75 = "
+        "custom   common RSS: p25/p50/p75 = "
         + "/".join(f"{np.percentile(result.custom_rss, q):.1f}" for q in (25, 50, 75)),
         f"mean improvement  : {result.mean_improvement_db():.2f} dB",
         f"median improvement: {result.median_improvement_db():.2f} dB",

@@ -61,7 +61,7 @@ def main() -> None:
 
     b1, rss1 = best_unicast_beam(channel, codebook, u1)
     b2, rss2 = best_unicast_beam(channel, codebook, u2)
-    print(f"Best individual beams:")
+    print("Best individual beams:")
     print(f"  user 1: beam {b1.beam_id} az={np.degrees(b1.steer_az):+.1f} deg "
           f"-> {rss1:.1f} dBm  {describe_mcs(rss1)}")
     print(f"  user 2: beam {b2.beam_id} az={np.degrees(b2.steer_az):+.1f} deg "

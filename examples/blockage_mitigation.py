@@ -12,8 +12,6 @@ Run:  python examples/blockage_mitigation.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import (
     CapacityRateProvider,
     FixedQualityPolicy,

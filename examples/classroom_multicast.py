@@ -25,7 +25,6 @@ from repro.core import (
     measure_max_fps,
 )
 from repro.experiments import (
-    AP_POSITION,
     CONTENT_CENTER,
     default_channel,
     ideal_codebook,

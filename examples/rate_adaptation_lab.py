@@ -11,7 +11,7 @@ Run:  python examples/rate_adaptation_lab.py
 
 from __future__ import annotations
 
-from repro.experiments import format_table, run_adaptation_ablation
+from repro.experiments import run_adaptation_ablation
 
 
 def main() -> None:

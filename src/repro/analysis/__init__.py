@@ -1,0 +1,37 @@
+"""Repo-specific static analysis: determinism, units, and sim-process lints.
+
+The reproduction's claims rest on bit-for-bit deterministic simulations and
+correct Mbps/bits/bytes/seconds arithmetic across ``core``, ``mac``, ``net``
+and ``sim``.  Generic linters cannot check either property, so this package
+implements an AST-level analyzer with four repo-specific rule families:
+
+* **determinism** (``D1xx``) — wall-clock reads, unseeded or global RNG
+  streams, and iteration over bare ``set``s in library code;
+* **units** (``U2xx``) — arithmetic mixing incompatible unit suffixes
+  (``_mbps``/``_bits``/``_bytes``/``_s``/``_ms``) without a conversion;
+* **sim-process** (``S3xx``) — dropped ``env.timeout(...)`` events and
+  blocking ``time.sleep`` inside simulation code;
+* **hygiene** (``H4xx``) — control-flow ``assert``s (stripped by ``-O``),
+  mutable default arguments, unvalidated ``*Config`` dataclasses.
+
+Run it with ``python -m repro.analysis src/repro`` or ``repro lint``.
+Suppress a finding in place with ``# repro: noqa[RULE]``.
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, write_baseline
+from .engine import AnalysisEngine, analyze_paths, analyze_source
+from .findings import Finding
+from .rules import ALL_RULES, rules_by_family
+
+__all__ = [
+    "AnalysisEngine",
+    "Finding",
+    "ALL_RULES",
+    "analyze_paths",
+    "analyze_source",
+    "load_baseline",
+    "write_baseline",
+    "rules_by_family",
+]

@@ -1,0 +1,53 @@
+"""Baseline files: accept today's findings, fail only on new ones.
+
+A baseline is a JSON list of ``{"path", "rule", "line"}`` records.  It lets
+the lint gate land before every legacy violation is fixed: known findings
+are demoted to suppressed, anything new still fails.  The repo's goal state
+is an *empty* baseline — the tree itself lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+
+def load_baseline(path: Path | str) -> set[tuple[str, str, int]]:
+    """Read baseline keys; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    records = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(records, list):
+        raise ValueError(f"baseline {path} must be a JSON list")
+    keys: set[tuple[str, str, int]] = set()
+    for record in records:
+        keys.add((str(record["path"]), str(record["rule"]), int(record["line"])))
+    return keys
+
+
+def write_baseline(path: Path | str, findings: Iterable[Finding]) -> int:
+    """Persist the unsuppressed findings as the new baseline; returns count."""
+    records = [
+        {"path": f.path, "rule": f.rule, "line": f.line}
+        for f in sorted(findings)
+        if not f.suppressed
+    ]
+    Path(path).write_text(
+        json.dumps(records, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(records)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: set[tuple[str, str, int]]
+) -> list[Finding]:
+    """Mark findings present in the baseline as suppressed."""
+    return [
+        f.as_suppressed() if f.key() in baseline else f for f in findings
+    ]

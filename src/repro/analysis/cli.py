@@ -1,0 +1,132 @@
+"""CLI for the analyzer: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit status is 0 when no unsuppressed finding remains, 1 otherwise, 2 for
+usage errors — so the CI lint job fails a PR that introduces a violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import AnalysisEngine
+from .rules import ALL_RULES, rules_by_family
+
+
+def _default_target() -> Path:
+    """Lint the installed ``repro`` package when no path is given."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _list_rules() -> str:
+    lines = []
+    for family, rules in sorted(rules_by_family().items()):
+        lines.append(f"{family}:")
+        for rule in rules:
+            lines.append(f"  {rule.rule_id}  {rule.summary}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Repo-specific static analysis: determinism, unit-suffix, "
+            "sim-process, and API-hygiene lints."
+        ),
+        epilog="Suppress a finding in place with `# repro: noqa[RULE]`.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids or family names to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help="JSON baseline: findings listed there are suppressed",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        metavar="FILE",
+        help="write current unsuppressed findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print noqa'd/baselined findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id and summary, then exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="print only the summary line"
+    )
+    return parser
+
+
+def _select_rules(spec: str | None):
+    if spec is None:
+        return None
+    wanted = {part.strip().lower() for part in spec.split(",") if part.strip()}
+    families = rules_by_family()
+    selected = [
+        rule
+        for rule in ALL_RULES
+        if rule.rule_id.lower() in wanted or rule.family in wanted
+    ]
+    unknown = wanted - {r.rule_id.lower() for r in ALL_RULES} - set(families)
+    if unknown:
+        raise SystemExit(
+            f"unknown rule/family in --select: {', '.join(sorted(unknown))}"
+        )
+    return selected
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    rules = _select_rules(args.select)
+    paths = args.paths or [_default_target()]
+    findings = AnalysisEngine(rules).analyze_paths(paths)
+
+    if args.baseline is not None:
+        findings = apply_baseline(findings, load_baseline(args.baseline))
+
+    if args.write_baseline is not None:
+        count = write_baseline(args.write_baseline, findings)
+        print(f"wrote {count} finding(s) to {args.write_baseline}")
+        return 0
+
+    active = [f for f in findings if not f.suppressed]
+    shown = findings if args.show_suppressed else active
+    if not args.quiet:
+        for finding in shown:
+            print(finding.format())
+    suppressed = len(findings) - len(active)
+    summary = f"{len(active)} finding(s)"
+    if suppressed:
+        summary += f", {suppressed} suppressed"
+    print(summary)
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""The analysis engine: collect files, parse, run rules, filter findings."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+from .rules import ALL_RULES
+from .visitor import FileContext, Rule
+
+__all__ = ["AnalysisEngine", "analyze_paths", "analyze_source"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    seen.setdefault(sub, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+    return sorted(seen)
+
+
+class AnalysisEngine:
+    """Runs a rule set over source files and accumulates findings."""
+
+    def __init__(self, rules: Sequence[type[Rule]] | None = None) -> None:
+        self.rules: tuple[type[Rule], ...] = tuple(
+            ALL_RULES if rules is None else rules
+        )
+
+    def analyze_source(self, source: str, path: str = "<string>") -> list[Finding]:
+        """Lint one in-memory module; parse errors become E000 findings."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as err:
+            return [
+                Finding(
+                    path=path,
+                    line=err.lineno or 1,
+                    col=(err.offset or 0) + 1,
+                    rule="E000",
+                    message=f"syntax error: {err.msg}",
+                )
+            ]
+        ctx = FileContext(path=path, source=source, tree=tree)
+        for rule_cls in self.rules:
+            rule_cls(ctx).run()
+        return sorted(ctx.findings)
+
+    def analyze_file(self, path: Path) -> list[Finding]:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as err:
+            return [
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    rule="E001",
+                    message=f"unreadable file: {err}",
+                )
+            ]
+        return self.analyze_source(source, path=str(path))
+
+    def analyze_paths(self, paths: Iterable[Path | str]) -> list[Finding]:
+        findings: list[Finding] = []
+        for path in iter_python_files(Path(p) for p in paths):
+            findings.extend(self.analyze_file(path))
+        return sorted(findings)
+
+
+def analyze_paths(
+    paths: Iterable[Path | str], rules: Sequence[type[Rule]] | None = None
+) -> list[Finding]:
+    """Convenience wrapper: lint files/dirs with the full (or given) rule set."""
+    return AnalysisEngine(rules).analyze_paths(paths)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[type[Rule]] | None = None,
+) -> list[Finding]:
+    """Convenience wrapper for one in-memory module (used by the tests)."""
+    return AnalysisEngine(rules).analyze_source(source, path=path)

@@ -1,0 +1,29 @@
+"""Rule registry: every lint rule, grouped by family."""
+
+from __future__ import annotations
+
+from ..visitor import Rule
+from .determinism import DETERMINISM_RULES
+from .hygiene import HYGIENE_RULES
+from .simproc import SIMPROC_RULES
+from .units import UNITS_RULES
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    *DETERMINISM_RULES,
+    *UNITS_RULES,
+    *SIMPROC_RULES,
+    *HYGIENE_RULES,
+)
+
+__all__ = ["ALL_RULES", "rules_by_family", "rule_ids"]
+
+
+def rules_by_family() -> dict[str, list[type[Rule]]]:
+    families: dict[str, list[type[Rule]]] = {}
+    for rule in ALL_RULES:
+        families.setdefault(rule.family, []).append(rule)
+    return families
+
+
+def rule_ids() -> list[str]:
+    return [rule.rule_id for rule in ALL_RULES]

@@ -1,0 +1,221 @@
+"""Determinism rules (D1xx).
+
+Every experiment must be bit-for-bit reproducible from its seed: no
+wall-clock reads, no unseeded or process-global RNG streams, and no
+iteration over bare ``set``s (string hashing is randomized per process, so
+set order leaks ``PYTHONHASHSEED`` into results).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..visitor import Rule
+
+__all__ = ["DETERMINISM_RULES"]
+
+# Wall-clock reads that differ run to run.  time.perf_counter / monotonic /
+# process_time are fine for *measuring* elapsed time (they never feed
+# simulation state) and are the sanctioned replacements.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+# numpy.random attributes that are fine to call: constructing explicit
+# generators/seeds is how deterministic streams are made.
+_NP_RANDOM_OK = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "numpy.random.BitGenerator",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+    }
+)
+
+# RNG constructors that must be given an explicit seed.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState", "random.Random"}
+)
+
+
+class WallClockRule(Rule):
+    rule_id = "D101"
+    family = "determinism"
+    summary = (
+        "no wall-clock reads (time.time / datetime.now) in library code; "
+        "use time.perf_counter for elapsed-time measurement"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.ctx.resolve(node.func)
+        if resolved in _WALL_CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock read `{resolved}()` breaks run-to-run "
+                "determinism; use time.perf_counter() for timing or pass "
+                "timestamps in explicitly",
+            )
+        self.generic_visit(node)
+
+
+class UnseededRngRule(Rule):
+    rule_id = "D102"
+    family = "determinism"
+    summary = "RNG constructors must receive an explicit seed"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.ctx.resolve(node.func)
+        if (
+            resolved in _SEEDED_CONSTRUCTORS
+            and not node.args
+            and not node.keywords
+        ):
+            self.report(
+                node,
+                f"`{resolved}()` without a seed draws OS entropy; pass an "
+                "explicit seed so runs reproduce",
+            )
+        self.generic_visit(node)
+
+
+class GlobalRngRule(Rule):
+    rule_id = "D103"
+    family = "determinism"
+    summary = (
+        "no module-level random.* / np.random.* sampling; "
+        "thread a seeded Generator instead"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.ctx.resolve(node.func)
+        if resolved is not None:
+            if (
+                resolved.startswith("numpy.random.")
+                and resolved not in _NP_RANDOM_OK
+            ):
+                self.report(
+                    node,
+                    f"`{resolved}` uses numpy's process-global stream; "
+                    "thread an explicit np.random.default_rng(seed)",
+                )
+            elif (
+                resolved.startswith("random.")
+                and resolved not in ("random.Random", "random.SystemRandom")
+            ) or resolved == "random.SystemRandom":
+                self.report(
+                    node,
+                    f"`{resolved}` uses process-global (or OS) randomness; "
+                    "thread an explicit random.Random(seed) or numpy "
+                    "Generator",
+                )
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Syntactically-evident set expressions whose iteration order can vary."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # a | b etc. where either side is evidently a set
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class SetIterationRule(Rule):
+    rule_id = "D104"
+    family = "determinism"
+    summary = "don't iterate bare sets into results; sort first"
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._set_names: list[set[str]] = [set()]
+
+    # -- scope tracking: names assigned set expressions in this function ----
+
+    def _walk_scope(self, node: ast.AST) -> None:
+        self._set_names.append(set())
+        for child in ast.walk(node):
+            if isinstance(child, ast.Assign) and _is_set_expr(child.value):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        self._set_names[-1].add(target.id)
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                if _is_set_expr(child.value) and isinstance(
+                    child.target, ast.Name
+                ):
+                    self._set_names[-1].add(child.target.id)
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    visit_FunctionDef = _walk_scope
+    visit_AsyncFunctionDef = _walk_scope
+
+    def _iterates_set(self, node: ast.expr) -> bool:
+        if _is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._set_names)
+        return False
+
+    def _flag(self, iter_node: ast.expr, where: str) -> None:
+        self.report(
+            iter_node,
+            f"iterating a bare set {where} makes order depend on "
+            "PYTHONHASHSEED; wrap it in sorted(...)",
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._iterates_set(node.iter):
+            self._flag(node.iter, "in a for-loop")
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            if self._iterates_set(gen.iter):
+                self._flag(gen.iter, "in a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set *from* a set keeps order irrelevant.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # list(set(...)), tuple(set(...)), enumerate(set(...)) materialize
+        # the nondeterministic order.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "enumerate")
+            and node.args
+            and self._iterates_set(node.args[0])
+        ):
+            self._flag(node.args[0], f"via {node.func.id}(...)")
+        self.generic_visit(node)
+
+
+DETERMINISM_RULES = (
+    WallClockRule,
+    UnseededRngRule,
+    GlobalRngRule,
+    SetIterationRule,
+)

@@ -1,0 +1,103 @@
+"""API-hygiene rules (H4xx).
+
+Library code must survive ``python -O`` (which strips every ``assert``),
+must not share mutable default arguments across calls, and every
+``*Config`` dataclass must validate its fields in ``__post_init__`` — the
+repo-wide convention (see net/config.py, core/session.py).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..visitor import Rule, final_attr
+
+__all__ = ["HYGIENE_RULES"]
+
+
+class AssertRule(Rule):
+    rule_id = "H401"
+    family = "hygiene"
+    summary = "no assert for control flow in library code (`-O` strips it)"
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.report(
+            node,
+            "assert disappears under `python -O`; raise an explicit "
+            "exception (ValueError / RuntimeError) instead",
+        )
+        self.generic_visit(node)
+
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
+
+
+def _is_mutable_default(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, _MUTABLE_DISPLAYS):
+        return True
+    if isinstance(node, ast.Call):
+        name = final_attr(node.func)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "H402"
+    family = "hygiene"
+    summary = "no mutable default arguments"
+
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for default in (*node.args.defaults, *node.args.kw_defaults):
+            if _is_mutable_default(default):
+                self.report(
+                    default,
+                    f"mutable default argument in `{node.name}` is shared "
+                    "across calls; default to None and build inside",
+                )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check
+    visit_AsyncFunctionDef = _check
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):
+        node = node.func
+    return final_attr(node) == "dataclass"
+
+
+class ConfigValidationRule(Rule):
+    rule_id = "H403"
+    family = "hygiene"
+    summary = (
+        "*Config dataclasses must validate fields in __post_init__ "
+        "(repo convention) or be field-free"
+    )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        is_dataclass = any(
+            _is_dataclass_decorator(dec) for dec in node.decorator_list
+        )
+        if is_dataclass and node.name.endswith("Config"):
+            has_fields = any(
+                isinstance(stmt, ast.AnnAssign) for stmt in node.body
+            )
+            has_post_init = any(
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__post_init__"
+                for stmt in node.body
+            )
+            if has_fields and not has_post_init:
+                self.report(
+                    node,
+                    f"dataclass `{node.name}` has fields but no "
+                    "__post_init__ validation; validate ranges/modes like "
+                    "the other *Config classes do",
+                )
+        self.generic_visit(node)
+
+
+HYGIENE_RULES = (AssertRule, MutableDefaultRule, ConfigValidationRule)

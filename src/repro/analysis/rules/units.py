@@ -1,0 +1,139 @@
+"""Unit-consistency rules (U2xx).
+
+The repo's convention (core/rates.py, net/*) is to carry units in name
+suffixes: ``rate_mbps``, ``wire_bytes``, ``payload_bits``, ``airtime_s``,
+``latency_ms``.  Additive arithmetic (``+``, ``-``, comparisons, ``+=``)
+between two *different* unit suffixes is almost always a missing ``* 8`` /
+``/ 8`` / ``* 1e6`` style conversion — multiplication and division are
+exempt because they legitimately change units (that is what a conversion
+factor is).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..visitor import Rule, final_attr
+
+__all__ = ["UNITS_RULES", "unit_of_name"]
+
+# Longest suffixes first so `_mbps` wins over a hypothetical `_s` clash.
+_SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
+    ("_mbps", "mbps"),
+    ("_gbps", "gbps"),
+    ("_kbps", "kbps"),
+    ("_bytes", "bytes"),
+    ("_bits", "bits"),
+    ("_ms", "ms"),
+    ("_us", "us"),
+    ("_ns", "ns"),
+    ("_s", "s"),
+)
+
+# Hints appended to the finding message for the common conversions.
+_CONVERSIONS = {
+    frozenset(("bits", "bytes")): "bytes * 8 -> bits",
+    frozenset(("s", "ms")): "s * 1e3 -> ms",
+    frozenset(("mbps", "bits")): "mbps * 1e6 -> bits/s",
+    frozenset(("mbps", "bytes")): "bytes * 8 / 1e6 / seconds -> mbps",
+}
+
+
+def unit_of_name(name: str) -> str | None:
+    """The unit a snake_case identifier carries in its suffix, if any."""
+    for suffix, unit in _SUFFIX_UNITS:
+        if name.endswith(suffix):
+            return unit
+    return None
+
+
+def _unit_of(node: ast.expr) -> str | None:
+    """Infer the unit of an expression, conservatively.
+
+    Only expressions that *directly* name a suffixed identifier (a name, an
+    attribute, or a call of one — ``total_time_s()`` is seconds) carry a
+    unit.  ``*``/``/`` results are unknown by design: wrapping an operand
+    in an explicit conversion factor is exactly how mixing is sanctioned.
+    """
+    if isinstance(node, ast.UnaryOp):
+        return _unit_of(node.operand)
+    if isinstance(node, (ast.Name, ast.Attribute, ast.Call)):
+        name = final_attr(node)
+        if name is not None:
+            return unit_of_name(name)
+    return None
+
+
+def _compatible(left: str, right: str) -> bool:
+    return left == right
+
+
+def _hint(left: str, right: str) -> str:
+    conversion = _CONVERSIONS.get(frozenset((left, right)))
+    return f" (e.g. {conversion})" if conversion else ""
+
+
+class UnitMixRule(Rule):
+    rule_id = "U201"
+    family = "units"
+    summary = (
+        "additive arithmetic / comparison must not mix unit suffixes "
+        "(_mbps/_bits/_bytes/_s/_ms) without an explicit conversion"
+    )
+
+    def _check_pair(
+        self, node: ast.AST, left: ast.expr, right: ast.expr, verb: str
+    ) -> None:
+        lu, ru = _unit_of(left), _unit_of(right)
+        if lu is not None and ru is not None and not _compatible(lu, ru):
+            self.report(
+                node,
+                f"{verb} mixes `{lu}` and `{ru}` with no conversion "
+                f"factor{_hint(lu, ru)}",
+            )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            verb = "addition" if isinstance(node.op, ast.Add) else "subtraction"
+            self._check_pair(node, node.left, node.right, verb)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_pair(node, node.target, node.value, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)):
+                self._check_pair(node, left, right, "comparison")
+            left = right
+        self.generic_visit(node)
+
+
+class UnitAssignRule(Rule):
+    rule_id = "U202"
+    family = "units"
+    summary = (
+        "assigning a unit-suffixed expression to a name with a different "
+        "unit suffix needs a conversion"
+    )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value_unit = _unit_of(node.value)
+        if value_unit is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    target_unit = unit_of_name(target.id)
+                    if target_unit is not None and target_unit != value_unit:
+                        self.report(
+                            node,
+                            f"`{target.id}` ({target_unit}) assigned a "
+                            f"`{value_unit}` value with no conversion"
+                            f"{_hint(target_unit, value_unit)}",
+                        )
+        self.generic_visit(node)
+
+
+UNITS_RULES = (UnitMixRule, UnitAssignRule)

@@ -5,8 +5,11 @@
     python -m repro fig3b --instants 200
     python -m repro ablations
     python -m repro all
+    python -m repro lint          # repo-specific static analysis
 
 Each command prints the same formatted rows the benchmarks assert on.
+``lint`` forwards to :mod:`repro.analysis` (same as
+``python -m repro.analysis``).
 """
 
 from __future__ import annotations
@@ -174,9 +177,16 @@ COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the HotNets '21 paper's tables and figures.",
+        epilog="`python -m repro lint [paths...]` runs repro.analysis.",
     )
     parser.add_argument(
         "experiments",
@@ -202,10 +212,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     chosen = list(COMMANDS) if "all" in args.experiments else args.experiments
-    t0 = time.time()
+    t0 = time.perf_counter()
     for name in chosen:
         COMMANDS[name](args)
-    print(f"\ndone in {time.time() - t0:.1f} s")
+    print(f"\ndone in {time.perf_counter() - t0:.1f} s")
     return 0
 
 

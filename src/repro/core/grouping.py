@@ -161,5 +161,6 @@ def exhaustive_grouping(
         plan = plan_frame(demand_list, groups=multicast_groups)
         if best_plan is None or plan.total_time_s() < best_plan.total_time_s():
             best_plan = plan
-    assert best_plan is not None
+    if best_plan is None:  # unreachable: _partitions always yields once
+        raise RuntimeError("exhaustive grouping evaluated no partition")
     return GroupingResult(plan=best_plan, policy="exhaustive")

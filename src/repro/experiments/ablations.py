@@ -244,7 +244,8 @@ def run_blockage_ablation(
         report = StreamingSession(config).run()
         summary = report.summary()
         recovered = rates.timeline
-        assert recovered is not None
+        if recovered is None:
+            raise RuntimeError("blockage ablation requires a recovery timeline")
         summary["outage_s"] = float(
             sum(
                 recovered.outage_fraction(u) * duration_s
@@ -479,7 +480,7 @@ def run_multiap_ablation(
     )
     from ..mac import UserDemand
     from ..mmwave import AccessPoint, Channel, Codebook, LinkBudget, Room
-    from ..pointcloud import CellGrid, compute_visibility
+    from ..pointcloud import compute_visibility
     from ..traces import generate_user_study
 
     room = Room(8.0, 10.0, 3.0)

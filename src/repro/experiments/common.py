@@ -8,7 +8,6 @@ formatting) used by every runner and benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np

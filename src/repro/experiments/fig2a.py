@@ -79,7 +79,8 @@ def run_fig2a(
         score = gain + 0.2 * late
         if best_converging is None or score > best_converging[0]:
             best_converging = (score, (a, b))
-    assert best_stable is not None and best_converging is not None
+    if best_stable is None or best_converging is None:
+        raise RuntimeError("fig2a needs at least two users to pick IoU pairs")
     # If the search degenerately picked the same pair, take the runner-up
     # converging pair.
     if best_converging[1] == best_stable[1]:

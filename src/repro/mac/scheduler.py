@@ -61,7 +61,7 @@ def overlap_bytes(demands: list[UserDemand]) -> float:
     for d in demands[1:]:
         shared &= set(d.cell_bytes)
     return float(
-        sum(max(d.cell_bytes[c] for d in demands) for c in shared)
+        sum(max(d.cell_bytes[c] for d in demands) for c in sorted(shared))
     )
 
 

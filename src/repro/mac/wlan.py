@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 __all__ = ["WlanCapacityModel", "AC_MODEL", "AD_MODEL", "STREAMING_GOODPUT_EFFICIENCY"]
 
 # Fraction of the per-user transport rate that turns into video payload

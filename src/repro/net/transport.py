@@ -156,7 +156,7 @@ class TransportSimulator:
                 shared_cells &= set(d.cell_bytes)
             shared_map = {
                 c: max(d.cell_bytes[c] for d in group_demands)
-                for c in shared_cells
+                for c in sorted(shared_cells)
             }
             shared_unit = packetize_cells(shared_map, pk)
             member_pers = [pers.get(m, 0.0) for m in members]

@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..geometry import AABB
-from .cells import FrameOccupancy
 from .cloud import PointCloudFrame
 
 __all__ = ["Octree", "OctreeOccupancy", "build_octree"]

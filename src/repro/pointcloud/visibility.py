@@ -52,6 +52,14 @@ class VisibilityConfig:
     distance_full_m: float = 1.8
     distance_min_fraction: float = 0.25
 
+    def __post_init__(self) -> None:
+        if not 0.0 < self.occlusion_opacity_fraction <= 1.0:
+            raise ValueError("occlusion_opacity_fraction must be in (0, 1]")
+        if self.distance_full_m <= 0:
+            raise ValueError("distance_full_m must be positive")
+        if not 0.0 < self.distance_min_fraction <= 1.0:
+            raise ValueError("distance_min_fraction must be in (0, 1]")
+
     @staticmethod
     def vanilla() -> "VisibilityConfig":
         return VisibilityConfig(viewport=False, occlusion=False, distance=False)
@@ -181,7 +189,6 @@ def _occlusion_mask(
     lows, highs = grid.cell_bounds_array(cell_ids)
     eye = frustum.position
     rel = centers - eye  # ray directions (to each cell center)
-    dist = np.linalg.norm(rel, axis=1)
     threshold = config.occlusion_opacity_fraction * float(nominal.sum())
 
     keep = np.ones(n, dtype=bool)

@@ -1,0 +1,19 @@
+"""Shared helpers for the analyzer tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def fixture_findings():
+    """Lint one fixture file and return its findings."""
+
+    def run(name: str):
+        return analyze_paths([FIXTURES / name])
+
+    return run

@@ -1,0 +1,35 @@
+"""Fixture: every determinism rule (D1xx) fires in this file."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def wall_clock():
+    start = time.time()  # D101
+    stamp = datetime.now()  # D101
+    return start, stamp
+
+
+def unseeded():
+    rng = np.random.default_rng()  # D102
+    legacy = np.random.RandomState()  # D102
+    return rng, legacy
+
+
+def global_stream(n):
+    vals = [np.random.normal() for _ in range(n)]  # D103
+    random.shuffle(vals)  # D103
+    return vals
+
+
+def set_order(items):
+    unique = set(items)
+    out = []
+    for item in unique:  # D104: name bound to a set
+        out.append(item)
+    listed = list({1, 2, 3})  # D104: list(...) over a set display
+    comp = [x for x in set(items)]  # D104: comprehension over set(...)
+    return out, listed, comp

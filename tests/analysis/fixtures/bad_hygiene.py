@@ -1,0 +1,14 @@
+"""Fixture: API-hygiene violations (H4xx)."""
+
+from dataclasses import dataclass
+
+
+def pick(first, rest=[]):  # H402: mutable default
+    assert first is not None  # H401: stripped under -O
+    return [first, *rest]
+
+
+@dataclass
+class SweepConfig:  # H403: fields but no __post_init__
+    start_mbps: float = 1.0
+    stop_mbps: float = 10.0

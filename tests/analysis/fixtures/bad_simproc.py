@@ -1,0 +1,20 @@
+"""Fixture: sim-process misuse (S3xx)."""
+
+import time
+
+
+def leaky_process(env):
+    env.timeout(1.0)  # S301: dropped timeout — silent no-op
+    yield env.timeout(2.0)
+    time.sleep(0.1)  # S302: blocks the real thread
+    yield helper(env)  # S303: raw generator, not an Event
+
+
+def helper(env):
+    yield env.timeout(0.5)
+
+
+def fine_process(env):
+    deadline = env.timeout(3.0)  # bound for a race — fine
+    yield deadline
+    yield env.process(helper(env))

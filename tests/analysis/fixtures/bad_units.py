@@ -1,0 +1,28 @@
+"""Fixture: unit-suffix mixing (U2xx)."""
+
+
+def mixed_add(rate_mbps, size_bytes):
+    return rate_mbps + size_bytes  # U201: mbps + bytes
+
+
+def mixed_compare(airtime_s, deadline_ms):
+    return airtime_s > deadline_ms  # U201: s vs ms
+
+
+def mixed_augassign(total_bits, chunk_bytes):
+    total_bits += chunk_bytes  # U201: bits += bytes
+    return total_bits
+
+
+def mixed_assign(frame_bytes):
+    payload_bits = frame_bytes  # U202: bits name <- bytes value
+    return payload_bits
+
+
+def converted_ok(size_bytes, rate_mbps):
+    airtime_s = size_bytes * 8.0 / (rate_mbps * 1e6)  # conversions exempt
+    return airtime_s
+
+
+def same_unit_ok(mtu_bytes, header_bytes):
+    return mtu_bytes - header_bytes  # same unit, no finding

@@ -1,0 +1,55 @@
+"""Fixture: idiomatic library code — the analyzer must report nothing.
+
+Exercises the *near-miss* side of every rule family: sanctioned timers,
+seeded generators, sorted set iteration, explicit unit conversions, bound
+timeout events, and a validated Config dataclass.
+"""
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def measure(fn):
+    start = time.perf_counter()  # monotonic timer is whitelisted
+    fn()
+    return time.perf_counter() - start
+
+
+def seeded_stream(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=4)
+
+
+def ordered(items):
+    unique = set(items)
+    return [item for item in sorted(unique)]
+
+
+def airtime_s(size_bytes, rate_mbps):
+    return size_bytes * 8.0 / (rate_mbps * 1e6)
+
+
+def budget_left_s(deadline_s, elapsed_ms):
+    return deadline_s - elapsed_ms / 1e3
+
+
+def player(env, frame_interval_s, num_frames):
+    for _ in range(num_frames):
+        yield env.timeout(frame_interval_s)
+
+
+def race(env, airtime, deadline_event):
+    tx_done = env.timeout(airtime)
+    yield tx_done
+    return deadline_event.triggered
+
+
+@dataclass(frozen=True)
+class PlayerConfig:
+    frame_interval_s: float = 1.0 / 30.0
+
+    def __post_init__(self) -> None:
+        if self.frame_interval_s <= 0:
+            raise ValueError("frame_interval_s must be positive")

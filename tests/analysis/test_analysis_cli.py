@@ -1,0 +1,58 @@
+"""CLI behavior: exit codes, selection, baselines, and the `repro lint` alias."""
+
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as repro_main
+
+from .conftest import FIXTURES
+
+BAD = str(FIXTURES / "bad_determinism.py")
+CLEAN = str(FIXTURES / "clean.py")
+
+
+def test_violations_exit_nonzero(capsys):
+    assert lint_main([BAD]) == 1
+    out = capsys.readouterr().out
+    assert "D101" in out and "finding(s)" in out
+
+
+def test_clean_file_exits_zero(capsys):
+    assert lint_main([CLEAN]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_list_rules_prints_every_family(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D101", "U201", "S301", "H401"):
+        assert rule_id in out
+
+
+def test_select_limits_rules(capsys):
+    # Only hygiene rules requested; the determinism fixture then passes.
+    assert lint_main(["--select", "hygiene", BAD]) == 0
+
+
+def test_select_unknown_rule_errors():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        lint_main(["--select", "nosuchrule", BAD])
+
+
+def test_write_then_apply_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([BAD, "--write-baseline", str(baseline)]) == 0
+    assert lint_main([BAD, "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed" in out
+
+
+def test_repro_lint_subcommand_dispatches(capsys):
+    assert repro_main(["lint", CLEAN]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_quiet_mode_prints_only_summary(capsys):
+    assert lint_main(["-q", BAD]) == 1
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 1 and out[0].endswith("finding(s)")

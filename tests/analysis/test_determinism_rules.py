@@ -1,0 +1,58 @@
+"""The determinism family (D1xx) fires on its fixture, and only as expected."""
+
+from collections import Counter
+
+from repro.analysis import analyze_source
+
+
+def rules_of(findings):
+    return Counter(f.rule for f in findings)
+
+
+def test_fixture_fires_every_determinism_rule(fixture_findings):
+    findings = fixture_findings("bad_determinism.py")
+    assert rules_of(findings) == Counter(
+        {"D101": 2, "D102": 2, "D103": 2, "D104": 3}
+    )
+
+
+def test_wall_clock_flags_time_time_and_datetime_now():
+    src = "import time\nfrom datetime import datetime\n" "t = time.time()\nd = datetime.now()\n"
+    findings = analyze_source(src)
+    assert [f.rule for f in findings] == ["D101", "D101"]
+
+
+def test_wall_clock_allows_perf_counter_and_monotonic():
+    src = "import time\nt = time.perf_counter()\nm = time.monotonic()\n"
+    assert analyze_source(src) == []
+
+
+def test_import_aliases_are_resolved():
+    src = "import numpy.random as npr\nx = npr.normal()\n"
+    assert [f.rule for f in analyze_source(src)] == ["D103"]
+
+
+def test_unseeded_default_rng_flagged_seeded_allowed():
+    bad = "import numpy as np\nrng = np.random.default_rng()\n"
+    good = "import numpy as np\nrng = np.random.default_rng(42)\n"
+    assert [f.rule for f in analyze_source(bad)] == ["D102"]
+    assert analyze_source(good) == []
+
+
+def test_generator_method_calls_not_confused_with_global_stream():
+    src = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)\n"
+        "x = rng.normal()\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_sorted_set_iteration_allowed():
+    src = "def f(items):\n    return [i for i in sorted(set(items))]\n"
+    assert analyze_source(src) == []
+
+
+def test_set_display_in_for_loop_flagged():
+    src = "for x in {1, 2, 3}:\n    print(x)\n"
+    assert [f.rule for f in analyze_source(src)] == ["D104"]

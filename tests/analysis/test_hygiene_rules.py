@@ -1,0 +1,71 @@
+"""The hygiene family (H4xx): asserts, mutable defaults, Config validation."""
+
+from collections import Counter
+
+from repro.analysis import analyze_source
+
+
+def test_fixture_fires_expected_hygiene_rules(fixture_findings):
+    findings = fixture_findings("bad_hygiene.py")
+    assert Counter(f.rule for f in findings) == Counter(
+        {"H401": 1, "H402": 1, "H403": 1}
+    )
+
+
+def test_assert_flagged_with_o_flag_hint():
+    findings = analyze_source("def f(x):\n    assert x > 0\n    return x\n")
+    assert [f.rule for f in findings] == ["H401"]
+    assert "-O" in findings[0].message
+
+
+def test_explicit_raise_not_flagged():
+    src = (
+        "def f(x):\n"
+        "    if x <= 0:\n"
+        "        raise ValueError('x must be positive')\n"
+        "    return x\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_mutable_default_list_and_dict_flagged():
+    src = "def f(a=[], b={}):\n    return a, b\n"
+    assert [f.rule for f in analyze_source(src)] == ["H402", "H402"]
+
+
+def test_none_default_allowed():
+    src = "def f(a=None, b=()):\n    return a, b\n"
+    assert analyze_source(src) == []
+
+
+def test_config_dataclass_without_post_init_flagged():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class FooConfig:\n"
+        "    rate_mbps: float = 1.0\n"
+    )
+    assert [f.rule for f in analyze_source(src)] == ["H403"]
+
+
+def test_config_dataclass_with_post_init_allowed():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class FooConfig:\n"
+        "    rate_mbps: float = 1.0\n"
+        "    def __post_init__(self):\n"
+        "        if self.rate_mbps <= 0:\n"
+        "            raise ValueError('rate_mbps must be positive')\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_non_config_dataclass_not_held_to_convention():
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Report:\n"
+        "    delivered: int = 0\n"
+    )
+    assert analyze_source(src) == []

@@ -1,0 +1,69 @@
+"""The sim-process family (S3xx): dropped events, sleeps, raw generators."""
+
+from collections import Counter
+
+from repro.analysis import analyze_source
+
+
+def test_fixture_fires_expected_simproc_rules(fixture_findings):
+    findings = fixture_findings("bad_simproc.py")
+    assert Counter(f.rule for f in findings) == Counter(
+        {"S301": 1, "S302": 1, "S303": 1}
+    )
+
+
+def test_dropped_timeout_flagged():
+    src = "def proc(env):\n    env.timeout(1.0)\n    yield env.timeout(2.0)\n"
+    assert [f.rule for f in analyze_source(src)] == ["S301"]
+
+
+def test_dropped_timeout_on_self_env_flagged():
+    src = (
+        "class Session:\n"
+        "    def _client(self):\n"
+        "        self.env.timeout(0.5)\n"
+        "        yield self.env.timeout(1.0)\n"
+    )
+    assert [f.rule for f in analyze_source(src)] == ["S301"]
+
+
+def test_bound_timeout_allowed():
+    src = (
+        "def proc(env):\n"
+        "    deadline = env.timeout(1.0)\n"
+        "    yield deadline\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_env_process_statement_allowed():
+    # Spawning a background process without waiting on it is legitimate.
+    src = "def boot(env, worker):\n    env.process(worker(env))\n"
+    assert analyze_source(src) == []
+
+
+def test_time_sleep_flagged():
+    src = "import time\n\ndef proc(env):\n    time.sleep(0.1)\n    yield env.timeout(1)\n"
+    assert [f.rule for f in analyze_source(src)] == ["S302"]
+
+
+def test_yielding_raw_generator_flagged():
+    src = (
+        "def helper(env):\n"
+        "    yield env.timeout(1.0)\n"
+        "\n"
+        "def proc(env):\n"
+        "    yield helper(env)\n"
+    )
+    assert [f.rule for f in analyze_source(src)] == ["S303"]
+
+
+def test_yielding_wrapped_process_allowed():
+    src = (
+        "def helper(env):\n"
+        "    yield env.timeout(1.0)\n"
+        "\n"
+        "def proc(env):\n"
+        "    yield env.process(helper(env))\n"
+    )
+    assert analyze_source(src) == []

@@ -1,0 +1,55 @@
+"""The units family (U2xx) fires on mixing and stays quiet on conversions."""
+
+from collections import Counter
+
+from repro.analysis import analyze_source
+
+
+def test_fixture_fires_expected_units_rules(fixture_findings):
+    findings = fixture_findings("bad_units.py")
+    assert Counter(f.rule for f in findings) == Counter({"U201": 3, "U202": 1})
+
+
+def test_addition_mixing_mbps_and_bytes_flagged():
+    src = "def f(rate_mbps, size_bytes):\n    return rate_mbps + size_bytes\n"
+    findings = analyze_source(src)
+    assert [f.rule for f in findings] == ["U201"]
+    assert "mbps" in findings[0].message and "bytes" in findings[0].message
+
+
+def test_multiplication_and_division_are_exempt():
+    src = (
+        "def airtime(wire_bytes, rate_mbps):\n"
+        "    return wire_bytes * 8.0 / (rate_mbps * 1e6)\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_converted_operand_loses_its_unit():
+    src = "def f(total_s, lag_ms):\n    return total_s + lag_ms / 1e3\n"
+    assert analyze_source(src) == []
+
+
+def test_comparison_mixing_seconds_and_ms_flagged():
+    src = "def f(airtime_s, deadline_ms):\n    return airtime_s < deadline_ms\n"
+    assert [f.rule for f in analyze_source(src)] == ["U201"]
+
+
+def test_same_unit_arithmetic_allowed():
+    src = "def f(mtu_bytes, header_bytes):\n    return mtu_bytes - header_bytes\n"
+    assert analyze_source(src) == []
+
+
+def test_call_result_units_inferred_from_function_name():
+    src = "def f(plan, budget_ms):\n    return plan.total_time_s() > budget_ms\n"
+    assert [f.rule for f in analyze_source(src)] == ["U201"]
+
+
+def test_cross_unit_assignment_flagged():
+    src = "def f(frame_bytes):\n    payload_bits = frame_bytes\n    return payload_bits\n"
+    assert [f.rule for f in analyze_source(src)] == ["U202"]
+
+
+def test_unitless_operands_never_flagged():
+    src = "def f(count, frames):\n    return count + frames\n"
+    assert analyze_source(src) == []

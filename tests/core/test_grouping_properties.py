@@ -1,6 +1,5 @@
 """Property-based tests for multicast grouping invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (

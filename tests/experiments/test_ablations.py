@@ -1,8 +1,5 @@
 """Ablation-runner tests (small scale)."""
 
-import numpy as np
-import pytest
-
 from repro.experiments import (
     run_adaptation_ablation,
     run_blockage_ablation,

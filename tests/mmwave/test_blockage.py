@@ -83,8 +83,6 @@ def test_timeline_event_until_end():
 
 def test_blockage_requires_interposed_user():
     """A user standing beside (not between) must not block."""
-    from repro.traces import generate_user_study
-
     # Two users at fixed-ish positions: compute directly.
     ap = np.array([0.0, 0.0, 2.0])
     rx = np.array([4.0, 0.0, 1.5])

@@ -10,7 +10,6 @@ from repro.mmwave import (
     LinkBudget,
     Room,
     fspl_db,
-    mcs_for_rss,
 )
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.mmwave import (
-    MCS_TABLE,
     NOISE_FLOOR_DBM,
     app_rate_for_sinr_mbps,
     app_rate_mbps,

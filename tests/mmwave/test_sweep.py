@@ -5,7 +5,6 @@ import pytest
 
 from repro.mmwave import (
     BeamTracker,
-    Codebook,
     HumanBody,
     SectorSweep,
     SweepTiming,
