@@ -9,11 +9,19 @@ pytest-benchmark tell you what each experiment costs to reproduce.
 
 import pytest
 
+from repro.defaults import DEFAULT_SEED
+
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "repro: marks a benchmark that regenerates a paper result"
     )
+
+
+@pytest.fixture(scope="session")
+def default_seed() -> int:
+    """The repo-wide seed — same source the experiment runners use."""
+    return DEFAULT_SEED
 
 
 @pytest.fixture(scope="session")

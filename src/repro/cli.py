@@ -5,11 +5,14 @@
     python -m repro fig3b --instants 200
     python -m repro ablations
     python -m repro all
-    python -m repro lint          # repo-specific static analysis
+    python -m repro lint                      # repo-specific static analysis
+    python -m repro run table1 --parallel 4   # parallel runner + result cache
+    python -m repro figures --parallel 4      # every registered figure/table
 
 Each command prints the same formatted rows the benchmarks assert on.
 ``lint`` forwards to :mod:`repro.analysis` (same as
-``python -m repro.analysis``).
+``python -m repro.analysis``); ``run`` and ``figures`` forward to the
+deterministic parallel runner in :mod:`repro.runner.cli`.
 """
 
 from __future__ import annotations
@@ -182,6 +185,10 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] in ("run", "figures"):
+        from .runner.cli import main as runner_main
+
+        return runner_main(argv)
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -1,0 +1,14 @@
+"""Repo-wide experiment defaults.
+
+``DEFAULT_SEED`` is the single source of truth for the seed every
+experiment, benchmark, and runner work-unit defaults to.  It lives in its
+own module so `repro.experiments.common`, `repro.runner`, and
+`benchmarks/conftest.py` all import the same constant instead of each
+declaring their own (which is how seeds silently drift apart).
+"""
+
+from __future__ import annotations
+
+__all__ = ["DEFAULT_SEED"]
+
+DEFAULT_SEED = 7

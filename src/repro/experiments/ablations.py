@@ -48,6 +48,7 @@ from ..prediction import (
     evaluate_predictor,
     predicted_visibility_iou,
 )
+from ..runner import Experiment, RunSpec, register, run_experiment
 from .common import (
     AP_POSITION,
     DEFAULT_SEED,
@@ -101,6 +102,33 @@ def run_prediction_ablation(
     horizon_s: float = 0.5,
     seed: int = DEFAULT_SEED,
 ) -> PredictionAblation:
+    merged = run_experiment(
+        "ablation_prediction",
+        {
+            "num_users": num_users,
+            "duration_s": duration_s,
+            "horizon_s": horizon_s,
+            "seed": seed,
+        },
+    )
+    return PredictionAblation(
+        rows={
+            r["predictor"]: (
+                float(r["pos_err_m"]),
+                float(r["ori_err_deg"]),
+                float(r["vis_iou"]),
+            )
+            for r in merged["rows"]
+        }
+    )
+
+
+def _compute_prediction(
+    num_users: int,
+    duration_s: float,
+    horizon_s: float,
+    seed: int,
+) -> PredictionAblation:
     study = default_study(num_users=num_users, duration_s=duration_s, seed=seed)
     video = default_video("high")
     grid = grid_for(video, 0.5)
@@ -148,6 +176,26 @@ def run_prediction_ablation(
         rows["linear-regression"][2],
     )
     return PredictionAblation(rows=rows)
+
+
+def _prediction_run_one(spec: RunSpec) -> dict:
+    result = _compute_prediction(
+        num_users=int(spec.get("num_users")),
+        duration_s=float(spec.get("duration_s")),
+        horizon_s=float(spec.get("horizon_s")),
+        seed=spec.seed,
+    )
+    return {
+        "rows": [
+            {
+                "predictor": name,
+                "pos_err_m": float(v[0]),
+                "ori_err_deg": float(v[1]),
+                "vis_iou": float(v[2]),
+            }
+            for name, v in result.rows.items()
+        ]
+    }
 
 
 # ---------------------------------------------------------------- Abl-B ----
@@ -202,6 +250,31 @@ def run_blockage_ablation(
     volumetric streaming actually occupies, and the one where blockage
     hiccups turn into stalls.
     """
+    merged = run_experiment(
+        "ablation_blockage",
+        {
+            "num_users": num_users,
+            "duration_s": duration_s,
+            "max_buffer_frames": max_buffer_frames,
+            "quality": quality,
+            "seed": seed,
+        },
+    )
+    return BlockageAblation(
+        rows={
+            r["policy"]: {k: float(v) for k, v in r["summary"].items()}
+            for r in merged["rows"]
+        }
+    )
+
+
+def _compute_blockage(
+    num_users: int,
+    duration_s: float,
+    seed: int,
+    max_buffer_frames: int,
+    quality: str,
+) -> BlockageAblation:
     study = study_in_room(num_users=num_users, duration_s=duration_s, seed=seed)
     video = room_video("high")
     timeline = compute_blockage_timeline(study, AP_POSITION)
@@ -261,6 +334,22 @@ def run_blockage_ablation(
     return BlockageAblation(rows=rows)
 
 
+def _blockage_run_one(spec: RunSpec) -> dict:
+    result = _compute_blockage(
+        num_users=int(spec.get("num_users")),
+        duration_s=float(spec.get("duration_s")),
+        seed=spec.seed,
+        max_buffer_frames=int(spec.get("max_buffer_frames")),
+        quality=str(spec.get("quality")),
+    )
+    return {
+        "rows": [
+            {"policy": name, "summary": {k: float(v) for k, v in summary.items()}}
+            for name, summary in result.rows.items()
+        ]
+    }
+
+
 # ---------------------------------------------------------------- Abl-C ----
 
 
@@ -287,34 +376,52 @@ def run_grouping_ablation(
     seed: int = DEFAULT_SEED,
 ) -> GroupingAblation:
     """Unicast vs. greedy vs. exhaustive grouping on the beam-level channel."""
-    video = room_video("high")
-    channel = default_channel()
-    codebook = ideal_codebook()
+    merged = run_experiment(
+        "ablation_grouping",
+        {
+            "user_counts": tuple(user_counts),
+            "duration_s": duration_s,
+            "num_frames": num_frames,
+            "seed": seed,
+        },
+    )
     fps: dict[str, dict[int, float]] = {
         "unicast": {}, "greedy": {}, "exhaustive": {},
     }
-    for n in user_counts:
-        study = study_in_room(num_users=n, duration_s=duration_s, seed=seed)
-        rates = ChannelRateProvider(
-            channel=channel, codebook=codebook, study=study
-        )
-        for policy, label in (
-            ("none", "unicast"),
-            ("greedy", "greedy"),
-            ("exhaustive", "exhaustive"),
-        ):
-            config = SessionConfig(
-                video=video,
-                study=study,
-                rates=rates,
-                visibility=VisibilityConfig(),
-                grouping=policy,
-                adaptation=FixedQualityPolicy("high"),
-                duration_s=duration_s,
-            )
-            series = measure_max_fps(config, num_frames=num_frames, stride=3)
-            fps[label][n] = float(np.mean(series))
+    for row in merged["rows"]:
+        for entry in row["fps"]:
+            fps[entry["policy"]][int(row["num_users"])] = float(entry["mean_fps"])
     return GroupingAblation(fps=fps)
+
+
+def _grouping_run_one(spec: RunSpec) -> dict:
+    """One user count, all three grouping policies (they share the rates)."""
+    n = int(spec.get("num_users"))
+    duration_s = float(spec.get("duration_s"))
+    num_frames = int(spec.get("num_frames"))
+    video = room_video("high")
+    channel = default_channel()
+    codebook = ideal_codebook()
+    study = study_in_room(num_users=n, duration_s=duration_s, seed=spec.seed)
+    rates = ChannelRateProvider(channel=channel, codebook=codebook, study=study)
+    entries = []
+    for policy, label in (
+        ("none", "unicast"),
+        ("greedy", "greedy"),
+        ("exhaustive", "exhaustive"),
+    ):
+        config = SessionConfig(
+            video=video,
+            study=study,
+            rates=rates,
+            visibility=VisibilityConfig(),
+            grouping=policy,
+            adaptation=FixedQualityPolicy("high"),
+            duration_s=duration_s,
+        )
+        series = measure_max_fps(config, num_frames=num_frames, stride=3)
+        entries.append({"policy": label, "mean_fps": float(np.mean(series))})
+    return {"num_users": n, "fps": entries}
 
 
 # ---------------------------------------------------------------- Abl-D ----
@@ -355,6 +462,23 @@ def run_adaptation_ablation(
     forecast + PHY fusion) eliminates stalls *and* switches at a small
     bitrate cost.
     """
+    merged = run_experiment(
+        "ablation_adaptation",
+        {"num_users": num_users, "duration_s": duration_s, "seed": seed},
+    )
+    return AdaptationAblation(
+        rows={
+            r["policy"]: {k: float(v) for k, v in r["summary"].items()}
+            for r in merged["rows"]
+        }
+    )
+
+
+def _compute_adaptation(
+    num_users: int,
+    duration_s: float,
+    seed: int,
+) -> AdaptationAblation:
     study = study_in_room(num_users=num_users, duration_s=duration_s, seed=seed)
     video = room_video("high")
     timeline = compute_blockage_timeline(study, AP_POSITION)
@@ -393,6 +517,20 @@ def run_adaptation_ablation(
     return AdaptationAblation(rows=rows)
 
 
+def _adaptation_run_one(spec: RunSpec) -> dict:
+    result = _compute_adaptation(
+        num_users=int(spec.get("num_users")),
+        duration_s=float(spec.get("duration_s")),
+        seed=spec.seed,
+    )
+    return {
+        "rows": [
+            {"policy": name, "summary": {k: float(v) for k, v in summary.items()}}
+            for name, summary in result.rows.items()
+        ]
+    }
+
+
 # ---------------------------------------------------------------- Abl-E ----
 
 
@@ -418,23 +556,53 @@ def run_cellsize_ablation(
     seed: int = DEFAULT_SEED,
 ) -> CellSizeAblation:
     """Granularity trade-off: finer cells cut traffic but reduce overlap."""
-    study = default_study(num_users=num_users, duration_s=duration_s, seed=seed)
+    merged = run_experiment(
+        "ablation_cellsize",
+        {
+            "cell_sizes": tuple(cell_sizes),
+            "num_users": num_users,
+            "duration_s": duration_s,
+            "seed": seed,
+        },
+    )
+    return CellSizeAblation(
+        rows={
+            float(r["cell_size"]): (
+                float(r["pair_iou"]),
+                float(r["visible_fraction"]),
+                float(r["mb_per_frame"]),
+            )
+            for r in merged["rows"]
+        }
+    )
+
+
+def _cellsize_run_one(spec: RunSpec) -> dict:
+    """One segmentation granularity (each size rebuilds its own maps)."""
+    size = float(spec.get("cell_size"))
+    study = default_study(
+        num_users=int(spec.get("num_users")),
+        duration_s=float(spec.get("duration_s")),
+        seed=spec.seed,
+    )
     video = default_video("high")
     config = VisibilityConfig()
-    rows = {}
-    for size in cell_sizes:
-        grid = grid_for(video, size)
-        maps = compute_visibility_maps(study, video, grid, config=config)
-        iou = float(np.mean(pairwise_iou_samples(maps)))
-        fractions, bytes_ = [], []
-        for trace in study.traces[:4]:
-            for f in range(0, study.num_samples, 10):
-                occ = grid.occupancy(video[f % len(video)])
-                vis = compute_visibility(occ, trace.pose(f).frustum(), config)
-                fractions.append(vis.visible_fraction)
-                bytes_.append(vis.request_bytes() / 1e6)
-        rows[size] = (iou, float(np.mean(fractions)), float(np.mean(bytes_)))
-    return CellSizeAblation(rows=rows)
+    grid = grid_for(video, size)
+    maps = compute_visibility_maps(study, video, grid, config=config)
+    iou = float(np.mean(pairwise_iou_samples(maps)))
+    fractions, bytes_ = [], []
+    for trace in study.traces[:4]:
+        for f in range(0, study.num_samples, 10):
+            occ = grid.occupancy(video[f % len(video)])
+            vis = compute_visibility(occ, trace.pose(f).frustum(), config)
+            fractions.append(vis.visible_fraction)
+            bytes_.append(vis.request_bytes() / 1e6)
+    return {
+        "cell_size": size,
+        "pair_iou": iou,
+        "visible_fraction": float(np.mean(fractions)),
+        "mb_per_frame": float(np.mean(bytes_)),
+    }
 
 
 # ---------------------------------------------------------------- Abl-F ----
@@ -473,6 +641,30 @@ def run_multiap_ablation(
     whole room against two coordinated APs (interference-aware: concurrent
     spatial reuse when SINR allows, AP-TDMA otherwise).
     """
+    merged = run_experiment(
+        "ablation_multiap",
+        {
+            "user_counts": tuple(user_counts),
+            "num_instants": num_instants,
+            "duration_s": duration_s,
+            "seed": seed,
+        },
+    )
+    return MultiApAblation(
+        rows={
+            int(r["num_users"]): (float(r["single_ms"]), float(r["multi_ms"]))
+            for r in merged["rows"]
+        }
+    )
+
+
+def _compute_multiap(
+    user_counts: tuple[int, ...],
+    num_instants: int,
+    duration_s: float,
+    seed: int,
+) -> MultiApAblation:
+    # One RNG stream spans all user counts, so this stays one work unit.
     from ..core import (
         MultiApDeployment,
         coordinated_frame_time,
@@ -547,3 +739,235 @@ def run_multiap_ablation(
                 multis.append(t2 * 1000)
         rows[n] = (float(np.mean(singles)), float(np.mean(multis)))
     return MultiApAblation(rows=rows)
+
+
+def _multiap_run_one(spec: RunSpec) -> dict:
+    result = _compute_multiap(
+        user_counts=tuple(int(n) for n in spec.get("user_counts")),
+        num_instants=int(spec.get("num_instants")),
+        duration_s=float(spec.get("duration_s")),
+        seed=spec.seed,
+    )
+    return {
+        "rows": [
+            {"num_users": n, "single_ms": s, "multi_ms": m}
+            for n, (s, m) in sorted(result.rows.items())
+        ]
+    }
+
+
+# ------------------------------------------------------------ registry ----
+
+
+def _single_spec_decompose(name: str, param_names: tuple[str, ...]):
+    """Decompose for monolithic ablations: whole sweep is one work unit."""
+
+    def decompose(params: dict) -> list[RunSpec]:
+        return [
+            RunSpec.make(
+                name,
+                seed=params["seed"],
+                **{k: params[k] for k in param_names},
+            )
+        ]
+
+    return decompose
+
+
+register(
+    Experiment(
+        name="ablation_prediction",
+        title="Abl-A — viewport predictors",
+        run_one=_prediction_run_one,
+        decompose=_single_spec_decompose(
+            "ablation_prediction", ("num_users", "duration_s", "horizon_s")
+        ),
+        merge=lambda params, runs: runs[0][1],
+        format_result=lambda merged: PredictionAblation(
+            rows={
+                r["predictor"]: (r["pos_err_m"], r["ori_err_deg"], r["vis_iou"])
+                for r in merged["rows"]
+            }
+        ).format(),
+        default_params={
+            "num_users": 8,
+            "duration_s": 8.0,
+            "horizon_s": 0.5,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={"num_users": 6, "duration_s": 4.0},
+    )
+)
+
+
+register(
+    Experiment(
+        name="ablation_blockage",
+        title="Abl-B — reactive vs. proactive blockage handling",
+        run_one=_blockage_run_one,
+        decompose=_single_spec_decompose(
+            "ablation_blockage",
+            ("num_users", "duration_s", "max_buffer_frames", "quality"),
+        ),
+        merge=lambda params, runs: runs[0][1],
+        format_result=lambda merged: BlockageAblation(
+            rows={r["policy"]: dict(r["summary"]) for r in merged["rows"]}
+        ).format(),
+        default_params={
+            "num_users": 5,
+            "duration_s": 8.0,
+            "max_buffer_frames": 4,
+            "quality": "medium",
+            "seed": DEFAULT_SEED,
+        },
+        small_params={"num_users": 3, "duration_s": 4.0},
+    )
+)
+
+
+def _grouping_decompose(params: dict) -> list[RunSpec]:
+    return [
+        RunSpec.make(
+            "ablation_grouping",
+            seed=params["seed"],
+            num_users=n,
+            duration_s=params["duration_s"],
+            num_frames=params["num_frames"],
+        )
+        for n in params["user_counts"]
+    ]
+
+
+def _grouping_format(merged: dict) -> str:
+    fps: dict[str, dict[int, float]] = {
+        "unicast": {}, "greedy": {}, "exhaustive": {},
+    }
+    for row in merged["rows"]:
+        for entry in row["fps"]:
+            fps[entry["policy"]][int(row["num_users"])] = float(
+                entry["mean_fps"]
+            )
+    return GroupingAblation(fps=fps).format()
+
+
+register(
+    Experiment(
+        name="ablation_grouping",
+        title="Abl-C — multicast grouping policies",
+        run_one=_grouping_run_one,
+        decompose=_grouping_decompose,
+        merge=lambda params, runs: {"rows": [result for _, result in runs]},
+        format_result=_grouping_format,
+        default_params={
+            "user_counts": (2, 4, 6),
+            "duration_s": 6.0,
+            "num_frames": 30,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={
+            "user_counts": (2, 4),
+            "duration_s": 3.0,
+            "num_frames": 10,
+        },
+    )
+)
+
+
+register(
+    Experiment(
+        name="ablation_adaptation",
+        title="Abl-D — rate adaptation policies",
+        run_one=_adaptation_run_one,
+        decompose=_single_spec_decompose(
+            "ablation_adaptation", ("num_users", "duration_s")
+        ),
+        merge=lambda params, runs: runs[0][1],
+        format_result=lambda merged: AdaptationAblation(
+            rows={r["policy"]: dict(r["summary"]) for r in merged["rows"]}
+        ).format(),
+        default_params={
+            "num_users": 5,
+            "duration_s": 8.0,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={"num_users": 3, "duration_s": 4.0},
+    )
+)
+
+
+def _cellsize_decompose(params: dict) -> list[RunSpec]:
+    return [
+        RunSpec.make(
+            "ablation_cellsize",
+            seed=params["seed"],
+            cell_size=size,
+            num_users=params["num_users"],
+            duration_s=params["duration_s"],
+        )
+        for size in params["cell_sizes"]
+    ]
+
+
+register(
+    Experiment(
+        name="ablation_cellsize",
+        title="Abl-E — cell-size sweep",
+        run_one=_cellsize_run_one,
+        decompose=_cellsize_decompose,
+        merge=lambda params, runs: {"rows": [result for _, result in runs]},
+        format_result=lambda merged: CellSizeAblation(
+            rows={
+                float(r["cell_size"]): (
+                    float(r["pair_iou"]),
+                    float(r["visible_fraction"]),
+                    float(r["mb_per_frame"]),
+                )
+                for r in merged["rows"]
+            }
+        ).format(),
+        default_params={
+            "cell_sizes": PAPER_CELL_SIZES,
+            "num_users": 8,
+            "duration_s": 5.0,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={
+            "cell_sizes": (0.5, 1.0),
+            "num_users": 6,
+            "duration_s": 3.0,
+        },
+    )
+)
+
+
+register(
+    Experiment(
+        name="ablation_multiap",
+        title="Abl-F — multi-AP spatial reuse",
+        run_one=_multiap_run_one,
+        decompose=_single_spec_decompose(
+            "ablation_multiap", ("user_counts", "num_instants", "duration_s")
+        ),
+        merge=lambda params, runs: runs[0][1],
+        format_result=lambda merged: MultiApAblation(
+            rows={
+                int(r["num_users"]): (
+                    float(r["single_ms"]),
+                    float(r["multi_ms"]),
+                )
+                for r in merged["rows"]
+            }
+        ).format(),
+        default_params={
+            "user_counts": (2, 4, 6, 8),
+            "num_instants": 12,
+            "duration_s": 6.0,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={
+            "user_counts": (2, 4),
+            "num_instants": 4,
+            "duration_s": 3.0,
+        },
+    )
+)

@@ -12,8 +12,9 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..defaults import DEFAULT_SEED
 from ..mmwave import AccessPoint, Channel, Codebook, Room
-from ..pointcloud import CellGrid, PointCloudVideo, synthesize_video
+from ..pointcloud import QUALITIES, CellGrid, PointCloudVideo, synthesize_video
 from ..traces import UserStudy, generate_user_study
 
 __all__ = [
@@ -29,12 +30,11 @@ __all__ = [
     "default_codebook",
     "ideal_codebook",
     "study_in_room",
+    "clear_fixture_caches",
     "empirical_cdf",
     "cdf_at",
     "format_table",
 ]
-
-DEFAULT_SEED = 7
 
 # Content placement inside the default 8 x 10 m room: the figure stands at
 # the room center so orbiting users stay inside the walls and within the
@@ -44,11 +44,28 @@ AP_POSITION = np.array([4.0, 0.3, 2.0])
 AP_BORESIGHT_AZ = np.pi / 2.0  # facing +Y, into the room
 
 
+# The memoized fixtures are keyed through *normalizing* front doors: every
+# parameter is coerced to a canonical type before it reaches the lru_cache,
+# so `default_video("high")`, `default_video(quality="high")`, and
+# `default_video(np.str_("high"), np.int64(150))` all land on the same
+# cache entry — and no two distinct parameter sets can silently alias.
+# (functools.lru_cache keys positional and keyword calls differently and
+# hashes 1 == 1.0 == True together; both bite silently otherwise.)
+
+
+def _checked_quality(quality: str) -> str:
+    quality = str(quality)
+    if quality not in QUALITIES:
+        raise ValueError(
+            f"unknown quality {quality!r}; expected one of {sorted(QUALITIES)}"
+        )
+    return quality
+
+
 @lru_cache(maxsize=8)
-def default_video(
-    quality: str = "high", num_frames: int = 150, points_per_frame: int = 6000
+def _default_video(
+    quality: str, num_frames: int, points_per_frame: int
 ) -> PointCloudVideo:
-    """The synthetic soldier video, centered at the origin (memoized)."""
     return synthesize_video(
         quality,
         num_frames=num_frames,
@@ -57,7 +74,23 @@ def default_video(
     )
 
 
+def default_video(
+    quality: str = "high", num_frames: int = 150, points_per_frame: int = 6000
+) -> PointCloudVideo:
+    """The synthetic soldier video, centered at the origin (memoized)."""
+    return _default_video(
+        _checked_quality(quality), int(num_frames), int(points_per_frame)
+    )
+
+
 @lru_cache(maxsize=8)
+def _room_video(
+    quality: str, num_frames: int, points_per_frame: int
+) -> PointCloudVideo:
+    video = _default_video(quality, num_frames, points_per_frame)
+    return video.translated(CONTENT_CENTER)
+
+
 def room_video(
     quality: str = "high", num_frames: int = 150, points_per_frame: int = 6000
 ) -> PointCloudVideo:
@@ -66,21 +99,35 @@ def room_video(
     Pair this with :func:`study_in_room` — the users orbit and look at
     CONTENT_CENTER, so the content must be there for visibility to work.
     """
-    video = default_video(quality, num_frames, points_per_frame)
-    return video.translated(CONTENT_CENTER)
+    return _room_video(
+        _checked_quality(quality), int(num_frames), int(points_per_frame)
+    )
 
 
 @lru_cache(maxsize=8)
-def default_study(
-    num_users: int = 32, duration_s: float = 10.0, seed: int = DEFAULT_SEED
-) -> UserStudy:
-    """The synthetic 32-participant study, centered on the origin content."""
+def _default_study(num_users: int, duration_s: float, seed: int) -> UserStudy:
     return generate_user_study(
         num_users=num_users, duration_s=duration_s, seed=seed
     )
 
 
+def default_study(
+    num_users: int = 32, duration_s: float = 10.0, seed: int = DEFAULT_SEED
+) -> UserStudy:
+    """The synthetic 32-participant study, centered on the origin content."""
+    return _default_study(int(num_users), float(duration_s), int(seed))
+
+
 @lru_cache(maxsize=4)
+def _study_in_room(num_users: int, duration_s: float, seed: int) -> UserStudy:
+    return generate_user_study(
+        num_users=num_users,
+        duration_s=duration_s,
+        seed=seed,
+        content_center=CONTENT_CENTER,
+    )
+
+
 def study_in_room(
     num_users: int = 6, duration_s: float = 10.0, seed: int = DEFAULT_SEED
 ) -> UserStudy:
@@ -89,12 +136,7 @@ def study_in_room(
     Channel-level experiments need world coordinates consistent with the
     room and AP placement.
     """
-    return generate_user_study(
-        num_users=num_users,
-        duration_s=duration_s,
-        seed=seed,
-        content_center=CONTENT_CENTER,
-    )
+    return _study_in_room(int(num_users), float(duration_s), int(seed))
 
 
 def default_channel() -> Channel:
@@ -137,6 +179,22 @@ def ideal_codebook() -> Codebook:
     """
     ap = AccessPoint(position=AP_POSITION.copy(), boresight_az=AP_BORESIGHT_AZ)
     return Codebook(ap.array, phase_bits=None)
+
+
+def clear_fixture_caches() -> None:
+    """Drop every memoized fixture so the next call rebuilds from scratch.
+
+    Runner workers (and tests proving rebuild-determinism) call this to
+    show that a fresh process reconstructs bit-identical fixtures — the
+    builders take only canonicalized parameters and fixed seeds, so a
+    rebuild can never diverge from the parent's copy.
+    """
+    _default_video.cache_clear()
+    _room_video.cache_clear()
+    _default_study.cache_clear()
+    _study_in_room.cache_clear()
+    default_codebook.cache_clear()
+    ideal_codebook.cache_clear()
 
 
 def grid_for(video: PointCloudVideo, cell_size: float) -> CellGrid:

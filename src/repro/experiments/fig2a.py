@@ -17,9 +17,10 @@ import numpy as np
 
 from ..core import compute_visibility_maps, iou_series
 from ..pointcloud import VisibilityConfig
+from ..runner import Experiment, RunSpec, register, run_experiment
 from .common import DEFAULT_SEED, default_study, default_video, grid_for
 
-__all__ = ["Fig2aResult", "run_fig2a"]
+__all__ = ["Fig2aResult", "run_fig2a", "run_one"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,68 @@ class Fig2aResult:
         )
 
 
+def run_one(spec: RunSpec) -> dict:
+    """The whole pair search is one unit (every pair shares the maps)."""
+    result = _compute(
+        num_users=int(spec.get("num_users")),
+        num_frames=int(spec.get("num_frames")),
+        cell_size=float(spec.get("cell_size")),
+        seed=spec.seed,
+    )
+    return {
+        "stable_pair": [int(u) for u in result.stable_pair],
+        "stable_iou": [float(x) for x in result.stable_iou],
+        "converging_pair": [int(u) for u in result.converging_pair],
+        "converging_iou": [float(x) for x in result.converging_iou],
+    }
+
+
+def _result_from_merged(merged: dict) -> Fig2aResult:
+    return Fig2aResult(
+        stable_pair=tuple(merged["stable_pair"]),
+        stable_iou=np.array(merged["stable_iou"], dtype=np.float64),
+        converging_pair=tuple(merged["converging_pair"]),
+        converging_iou=np.array(merged["converging_iou"], dtype=np.float64),
+    )
+
+
+def _format(merged: dict) -> str:
+    result = _result_from_merged(merged)
+    return (
+        f"stable pair {result.stable_pair}: mean IoU {result.stable_mean:.3f}\n"
+        f"converging pair {result.converging_pair}: "
+        f"{np.mean(result.converging_iou[:60]):.2f} -> "
+        f"{np.mean(result.converging_iou[-60:]):.2f}"
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="fig2a",
+        title="Fig. 2a — pairwise IoU over time",
+        run_one=run_one,
+        decompose=lambda params: [
+            RunSpec.make(
+                "fig2a",
+                seed=params["seed"],
+                num_users=params["num_users"],
+                num_frames=params["num_frames"],
+                cell_size=params["cell_size"],
+            )
+        ],
+        merge=lambda params, runs: runs[0][1],
+        format_result=_format,
+        default_params={
+            "num_users": 16,
+            "num_frames": 300,
+            "cell_size": 0.5,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={"num_users": 8, "num_frames": 90},
+    )
+)
+
+
 def run_fig2a(
     num_users: int = 16,
     num_frames: int = 300,
@@ -52,6 +115,24 @@ def run_fig2a(
     seed: int = DEFAULT_SEED,
 ) -> Fig2aResult:
     """Select and return the two representative pair series."""
+    merged = run_experiment(
+        "fig2a",
+        {
+            "num_users": num_users,
+            "num_frames": num_frames,
+            "cell_size": cell_size,
+            "seed": seed,
+        },
+    )
+    return _result_from_merged(merged)
+
+
+def _compute(
+    num_users: int,
+    num_frames: int,
+    cell_size: float,
+    seed: int,
+) -> Fig2aResult:
     # Fig. 2a runs 300 frames = 10 s at 30 Hz.
     duration = num_frames / 30.0
     study = default_study(num_users=num_users, duration_s=duration, seed=seed)

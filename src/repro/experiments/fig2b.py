@@ -20,10 +20,11 @@ import numpy as np
 
 from ..core import compute_visibility_maps, group_iou_samples, pairwise_iou_samples
 from ..pointcloud import VisibilityConfig
+from ..runner import Experiment, RunSpec, register, run_experiment
 from ..traces import Device
 from .common import DEFAULT_SEED, default_study, default_video, grid_for
 
-__all__ = ["Fig2bResult", "run_fig2b", "FIG2B_CURVES"]
+__all__ = ["Fig2bResult", "run_fig2b", "run_one", "FIG2B_CURVES"]
 
 FIG2B_CURVES = (
     "HM(2)-Seg(100cm)",
@@ -31,6 +32,16 @@ FIG2B_CURVES = (
     "PH(2)-Seg(50cm)",
     "HM(3)-Seg(50cm)",
 )
+
+# curve -> (device, cell size m, group size).  Each curve is one runner
+# work unit; the visibility maps it needs are rebuilt inside the unit, so
+# units are independent and fan out cleanly.
+_CURVE_DEFS: dict[str, tuple[Device, float, int]] = {
+    "HM(2)-Seg(100cm)": (Device.HEADSET, 1.0, 2),
+    "HM(2)-Seg(50cm)": (Device.HEADSET, 0.5, 2),
+    "PH(2)-Seg(50cm)": (Device.PHONE, 0.5, 2),
+    "HM(3)-Seg(50cm)": (Device.HEADSET, 0.5, 3),
+}
 
 
 @dataclass(frozen=True)
@@ -49,6 +60,98 @@ class Fig2bResult:
         return {curve: self.mean_iou(curve) for curve in self.samples}
 
 
+def run_one(spec: RunSpec) -> dict:
+    """One CDF curve: build that curve's maps and draw its IoU samples."""
+    curve = spec.get("curve")
+    if curve not in _CURVE_DEFS:
+        raise ValueError(f"unknown fig2b curve {curve!r}")
+    device, cell_size, group_size = _CURVE_DEFS[curve]
+    study = default_study(
+        num_users=int(spec.get("num_users")),
+        duration_s=float(spec.get("duration_s")),
+        seed=spec.seed,
+    )
+    video = default_video("high")
+    config = VisibilityConfig()
+    ids = [t.user_id for t in study.by_device(device)]
+    maps = compute_visibility_maps(
+        study, video, grid_for(video, cell_size), users=ids, config=config
+    )
+    if group_size == 2:
+        samples = pairwise_iou_samples(maps)
+    else:
+        samples = group_iou_samples(
+            maps,
+            group_size=group_size,
+            max_groups=int(spec.get("max_groups")),
+            seed=spec.seed,
+        )
+    return {"curve": curve, "samples": [float(x) for x in samples]}
+
+
+def _decompose(params: dict) -> list[RunSpec]:
+    return [
+        RunSpec.make(
+            "fig2b",
+            seed=params["seed"],
+            curve=curve,
+            num_users=params["num_users"],
+            duration_s=params["duration_s"],
+            max_groups=params["max_groups"],
+        )
+        for curve in FIG2B_CURVES
+    ]
+
+
+def _merge(params: dict, runs: list) -> dict:
+    return {
+        "curves": [
+            {"curve": result["curve"], "samples": result["samples"]}
+            for _, result in runs
+        ]
+    }
+
+
+def _result_from_merged(merged: dict) -> Fig2bResult:
+    return Fig2bResult(
+        samples={
+            c["curve"]: np.array(c["samples"], dtype=np.float64)
+            for c in merged["curves"]
+        }
+    )
+
+
+def _format(merged: dict) -> str:
+    result = _result_from_merged(merged)
+    lines = []
+    for curve in FIG2B_CURVES:
+        samples = result.samples[curve]
+        lines.append(
+            f"{curve:18s} mean {np.mean(samples):.3f} "
+            f"median {np.median(samples):.3f}"
+        )
+    return "\n".join(lines)
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="fig2b",
+        title="Fig. 2b — IoU distributions",
+        run_one=run_one,
+        decompose=_decompose,
+        merge=_merge,
+        format_result=_format,
+        default_params={
+            "num_users": 32,
+            "duration_s": 10.0,
+            "max_groups": 60,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={"num_users": 12, "duration_s": 3.0, "max_groups": 30},
+    )
+)
+
+
 def run_fig2b(
     num_users: int = 32,
     duration_s: float = 10.0,
@@ -56,29 +159,13 @@ def run_fig2b(
     max_groups: int = 60,
 ) -> Fig2bResult:
     """Regenerate the four CDF sample sets of Fig. 2b."""
-    study = default_study(num_users=num_users, duration_s=duration_s, seed=seed)
-    video = default_video("high")
-    config = VisibilityConfig()
-
-    hm_ids = [t.user_id for t in study.by_device(Device.HEADSET)]
-    ph_ids = [t.user_id for t in study.by_device(Device.PHONE)]
-
-    maps_100 = compute_visibility_maps(
-        study, video, grid_for(video, 1.0), users=hm_ids, config=config
+    merged = run_experiment(
+        "fig2b",
+        {
+            "num_users": num_users,
+            "duration_s": duration_s,
+            "max_groups": max_groups,
+            "seed": seed,
+        },
     )
-    maps_50_hm = compute_visibility_maps(
-        study, video, grid_for(video, 0.5), users=hm_ids, config=config
-    )
-    maps_50_ph = compute_visibility_maps(
-        study, video, grid_for(video, 0.5), users=ph_ids, config=config
-    )
-
-    samples = {
-        "HM(2)-Seg(100cm)": pairwise_iou_samples(maps_100),
-        "HM(2)-Seg(50cm)": pairwise_iou_samples(maps_50_hm),
-        "PH(2)-Seg(50cm)": pairwise_iou_samples(maps_50_ph),
-        "HM(3)-Seg(50cm)": group_iou_samples(
-            maps_50_hm, group_size=3, max_groups=max_groups, seed=seed
-        ),
-    }
-    return Fig2bResult(samples=samples)
+    return _result_from_merged(merged)

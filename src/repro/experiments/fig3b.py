@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..runner import Experiment, RunSpec, register, run_experiment
 from .common import (
     DEFAULT_SEED,
     cdf_at,
@@ -23,7 +24,7 @@ from .common import (
     study_in_room,
 )
 
-__all__ = ["Fig3bResult", "run_fig3b"]
+__all__ = ["Fig3bResult", "run_fig3b", "run_one"]
 
 RSS_TARGET_DBM = -68.0  # "approximately 384 Mbps ... necessary for 550K points"
 
@@ -42,6 +43,69 @@ class Fig3bResult:
         return {k: self.coverage_at(k) for k in sorted(self.samples)}
 
 
+def run_one(spec: RunSpec) -> dict:
+    """Whole sweep in one unit: the RNG draws interleave across group sizes."""
+    result = _compute(
+        group_sizes=tuple(int(k) for k in spec.get("group_sizes")),
+        num_instants=int(spec.get("num_instants")),
+        num_users=int(spec.get("num_users")),
+        duration_s=float(spec.get("duration_s")),
+        seed=spec.seed,
+    )
+    return {
+        "groups": [
+            {"group_size": int(k), "rss_dbm": [float(x) for x in result.samples[k]]}
+            for k in sorted(result.samples)
+        ]
+    }
+
+
+def _result_from_merged(merged: dict) -> Fig3bResult:
+    return Fig3bResult(
+        samples={
+            int(g["group_size"]): np.array(g["rss_dbm"], dtype=np.float64)
+            for g in merged["groups"]
+        }
+    )
+
+
+def _format(merged: dict) -> str:
+    result = _result_from_merged(merged)
+    return "\n".join(
+        f"{k} user(s): coverage@-68dBm = {cov:.3f}"
+        for k, cov in sorted(result.summary().items())
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="fig3b",
+        title="Fig. 3b — default-codebook multicast coverage",
+        run_one=run_one,
+        decompose=lambda params: [
+            RunSpec.make(
+                "fig3b",
+                seed=params["seed"],
+                group_sizes=params["group_sizes"],
+                num_instants=params["num_instants"],
+                num_users=params["num_users"],
+                duration_s=params["duration_s"],
+            )
+        ],
+        merge=lambda params, runs: runs[0][1],
+        format_result=_format,
+        default_params={
+            "group_sizes": (1, 2, 3),
+            "num_instants": 120,
+            "num_users": 4,
+            "duration_s": 10.0,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={"num_instants": 20},
+    )
+)
+
+
 def run_fig3b(
     group_sizes: tuple[int, ...] = (1, 2, 3),
     num_instants: int = 120,
@@ -49,9 +113,28 @@ def run_fig3b(
     duration_s: float = 10.0,
     seed: int = DEFAULT_SEED,
 ) -> Fig3bResult:
-    """Sweep default-codebook multicast coverage over trace positions.
+    """Sweep default-codebook multicast coverage over trace positions."""
+    merged = run_experiment(
+        "fig3b",
+        {
+            "group_sizes": tuple(group_sizes),
+            "num_instants": num_instants,
+            "num_users": num_users,
+            "duration_s": duration_s,
+            "seed": seed,
+        },
+    )
+    return _result_from_merged(merged)
 
-    For each sampled instant a random group of each size is drawn; the best
+
+def _compute(
+    group_sizes: tuple[int, ...],
+    num_instants: int,
+    num_users: int,
+    duration_s: float,
+    seed: int,
+) -> Fig3bResult:
+    """For each sampled instant a random group of each size is drawn; the best
     common RSS is the max over codebook beams of the min over members.  The
     other users present in the room act as blockers (their bodies attenuate
     the paths), which creates the low-RSS tail of the measured CDFs.

@@ -20,9 +20,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..mmwave import combine_weights
+from ..runner import Experiment, RunSpec, register, run_experiment
 from .common import DEFAULT_SEED, default_channel, ideal_codebook
 
-__all__ = ["Fig3dResult", "run_fig3d"]
+__all__ = ["Fig3dResult", "run_fig3d", "run_one"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,53 @@ class Fig3dResult:
         return float(np.mean(self.custom_rss > self.default_rss + 1e-9))
 
 
+def run_one(spec: RunSpec) -> dict:
+    """One unit: the placement RNG stream spans all sampled instants."""
+    result = _compute(
+        num_instants=int(spec.get("num_instants")), seed=spec.seed
+    )
+    return {
+        "default_rss_dbm": [float(x) for x in result.default_rss],
+        "custom_rss_dbm": [float(x) for x in result.custom_rss],
+    }
+
+
+def _result_from_merged(merged: dict) -> Fig3dResult:
+    return Fig3dResult(
+        default_rss=np.array(merged["default_rss_dbm"], dtype=np.float64),
+        custom_rss=np.array(merged["custom_rss_dbm"], dtype=np.float64),
+    )
+
+
+def _format(merged: dict) -> str:
+    result = _result_from_merged(merged)
+    return (
+        f"mean improvement  : {result.mean_improvement_db():+.2f} dB\n"
+        f"median improvement: {result.median_improvement_db():+.2f} dB\n"
+        f"custom-beam wins  : {result.win_fraction() * 100:.0f}%"
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="fig3d",
+        title="Fig. 3d — default vs. custom multicast beams",
+        run_one=run_one,
+        decompose=lambda params: [
+            RunSpec.make(
+                "fig3d",
+                seed=params["seed"],
+                num_instants=params["num_instants"],
+            )
+        ],
+        merge=lambda params, runs: runs[0][1],
+        format_result=_format,
+        default_params={"num_instants": 150, "seed": DEFAULT_SEED},
+        small_params={"num_instants": 40},
+    )
+)
+
+
 def run_fig3d(
     num_instants: int = 150,
     seed: int = DEFAULT_SEED,
@@ -60,6 +108,13 @@ def run_fig3d(
     observation that already-covered groups should keep the default beam,
     the effective custom RSS is the better of the two candidates.
     """
+    merged = run_experiment(
+        "fig3d", {"num_instants": num_instants, "seed": seed}
+    )
+    return _result_from_merged(merged)
+
+
+def _compute(num_instants: int, seed: int) -> Fig3dResult:
     channel = default_channel()
     codebook = ideal_codebook()
     weight_matrix = np.stack([b.weights for b in codebook])

@@ -27,6 +27,7 @@ from ..mmwave import combine_weights
 from ..mmwave.mcs import app_rate_mbps
 from ..pointcloud import CellGrid, VisibilityConfig, compute_visibility
 from ..geometry import AABB
+from ..runner import Experiment, RunSpec, register, run_experiment
 from .common import (
     CONTENT_CENTER,
     DEFAULT_SEED,
@@ -36,7 +37,7 @@ from .common import (
     study_in_room,
 )
 
-__all__ = ["Fig3eResult", "run_fig3e", "SCHEMES"]
+__all__ = ["Fig3eResult", "run_fig3e", "run_one", "SCHEMES"]
 
 SCHEMES = ("unicast", "multicast-default", "multicast-custom")
 
@@ -63,6 +64,74 @@ class Fig3eResult:
         )
 
 
+def run_one(spec: RunSpec) -> dict:
+    """One unit: the member/instant RNG stream spans the whole sweep."""
+    result = _compute(
+        num_instants=int(spec.get("num_instants")),
+        num_users=int(spec.get("num_users")),
+        duration_s=float(spec.get("duration_s")),
+        cell_size=float(spec.get("cell_size")),
+        seed=spec.seed,
+    )
+    return {
+        "schemes": [
+            {
+                "scheme": scheme,
+                "normalized": [float(x) for x in result.normalized[scheme]],
+            }
+            for scheme in SCHEMES
+        ]
+    }
+
+
+def _result_from_merged(merged: dict) -> Fig3eResult:
+    return Fig3eResult(
+        normalized={
+            s["scheme"]: np.array(s["normalized"], dtype=np.float64)
+            for s in merged["schemes"]
+        }
+    )
+
+
+def _format(merged: dict) -> str:
+    result = _result_from_merged(merged)
+    lines = [f"{scheme:20s} {result.mean(scheme):.3f}" for scheme in SCHEMES]
+    lines.append(
+        "default multicast worse than unicast at "
+        f"{result.default_worse_than_unicast_fraction() * 100:.0f}% of instants"
+    )
+    return "\n".join(lines)
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="fig3e",
+        title="Fig. 3e — normalized throughput",
+        run_one=run_one,
+        decompose=lambda params: [
+            RunSpec.make(
+                "fig3e",
+                seed=params["seed"],
+                num_instants=params["num_instants"],
+                num_users=params["num_users"],
+                duration_s=params["duration_s"],
+                cell_size=params["cell_size"],
+            )
+        ],
+        merge=lambda params, runs: runs[0][1],
+        format_result=_format,
+        default_params={
+            "num_instants": 60,
+            "num_users": 8,
+            "duration_s": 10.0,
+            "cell_size": 0.5,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={"num_instants": 10},
+    )
+)
+
+
 def run_fig3e(
     num_instants: int = 60,
     num_users: int = 8,
@@ -71,6 +140,26 @@ def run_fig3e(
     seed: int = DEFAULT_SEED,
 ) -> Fig3eResult:
     """Compare the three delivery schemes for 2-user groups."""
+    merged = run_experiment(
+        "fig3e",
+        {
+            "num_instants": num_instants,
+            "num_users": num_users,
+            "duration_s": duration_s,
+            "cell_size": cell_size,
+            "seed": seed,
+        },
+    )
+    return _result_from_merged(merged)
+
+
+def _compute(
+    num_instants: int,
+    num_users: int,
+    duration_s: float,
+    cell_size: float,
+    seed: int,
+) -> Fig3eResult:
     study = study_in_room(num_users=num_users, duration_s=duration_s, seed=seed)
     channel = default_channel()
     codebook = ideal_codebook()

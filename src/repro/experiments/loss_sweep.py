@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from ..mac.scheduler import UserDemand, plan_frame
 from ..net import TransportConfig, TransportSimulator, packetize_cells
 from ..pointcloud import QUALITIES
+from ..runner import Experiment, RunSpec, register, run_experiment
 from .common import DEFAULT_SEED, format_table
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "DEFAULT_LOSS_POINTS",
     "LossSweepResult",
     "run_loss_sweep",
+    "run_one",
 ]
 
 LOSS_SWEEP_MODES = ("ideal", "arq", "fec", "hybrid")
@@ -100,6 +102,142 @@ def _build_plan(
     )
 
 
+def run_one(spec: RunSpec) -> dict:
+    """One transport mode across every loss point (independent sims)."""
+    mode = spec.get("mode")
+    if mode not in LOSS_SWEEP_MODES:
+        raise ValueError(f"unknown transport mode {mode!r}")
+    loss_points = tuple(float(p) for p in spec.get("loss_points"))
+    num_users = int(spec.get("num_users"))
+    num_frames = int(spec.get("num_frames"))
+    quality = str(spec.get("quality"))
+    target_fps = float(spec.get("target_fps"))
+    airtime_fraction = float(spec.get("airtime_fraction"))
+    num_cells = int(spec.get("num_cells"))
+    if not 0.0 < airtime_fraction <= 1.0:
+        raise ValueError("airtime_fraction must be in (0, 1]")
+
+    # Size the multicast rate from the packetized (wire) frame so the base
+    # transmission time is exactly airtime_fraction / target_fps.
+    probe = _build_plan(num_users, quality, target_fps, num_cells, 1.0)
+    shared_unit = packetize_cells(
+        probe.demands[0].cell_bytes, TransportConfig().packetization
+    )
+    rate_mbps = (
+        shared_unit.wire_bytes * 8.0 * target_fps / airtime_fraction / 1e6
+    )
+    plan = _build_plan(num_users, quality, target_fps, num_cells, rate_mbps)
+
+    points = []
+    for p in loss_points:
+        sim = TransportSimulator(TransportConfig.preset(mode, base_per=p))
+        sim.reseed(spec.seed)
+        pers = {u: p for u in range(num_users)}
+        airtime = 0.0
+        delivered_bytes = 0.0
+        delivered_frames = 0
+        fps_sum = 0.0
+        for _ in range(num_frames):
+            outcome = sim.frame_outcome(plan, pers, target_fps=target_fps)
+            airtime += outcome.airtime_s
+            delivered_bytes += outcome.app_bytes_delivered
+            delivered_frames += sum(outcome.delivered.values())
+            fps_sum += outcome.effective_fps(cap_fps=target_fps)
+        points.append(
+            {
+                "loss": p,
+                "goodput_mbps": (
+                    delivered_bytes * 8.0 / airtime / 1e6 if airtime > 0 else 0.0
+                ),
+                "effective_fps": fps_sum / num_frames,
+                "frame_delivery_rate": delivered_frames / (num_frames * num_users),
+            }
+        )
+    return {"mode": mode, "points": points}
+
+
+def _decompose(params: dict) -> list[RunSpec]:
+    for mode in params["modes"]:
+        if mode not in LOSS_SWEEP_MODES:
+            raise ValueError(f"unknown transport mode {mode!r}")
+    if not 0.0 < params["airtime_fraction"] <= 1.0:
+        raise ValueError("airtime_fraction must be in (0, 1]")
+    return [
+        RunSpec.make(
+            "loss_sweep",
+            seed=params["seed"],
+            mode=mode,
+            loss_points=params["loss_points"],
+            num_users=params["num_users"],
+            num_frames=params["num_frames"],
+            quality=params["quality"],
+            target_fps=params["target_fps"],
+            airtime_fraction=params["airtime_fraction"],
+            num_cells=params["num_cells"],
+        )
+        for mode in params["modes"]
+    ]
+
+
+def _merge(params: dict, runs: list) -> dict:
+    return {
+        "modes": list(params["modes"]),
+        "loss_points": [float(p) for p in params["loss_points"]],
+        "target_fps": float(params["target_fps"]),
+        "per_mode": [result for _, result in runs],
+    }
+
+
+def _result_from_merged(merged: dict) -> LossSweepResult:
+    goodput: dict[str, dict[float, float]] = {}
+    fps: dict[str, dict[float, float]] = {}
+    delivery: dict[str, dict[float, float]] = {}
+    for entry in merged["per_mode"]:
+        mode = entry["mode"]
+        goodput[mode] = {
+            float(pt["loss"]): float(pt["goodput_mbps"]) for pt in entry["points"]
+        }
+        fps[mode] = {
+            float(pt["loss"]): float(pt["effective_fps"]) for pt in entry["points"]
+        }
+        delivery[mode] = {
+            float(pt["loss"]): float(pt["frame_delivery_rate"])
+            for pt in entry["points"]
+        }
+    return LossSweepResult(
+        goodput_mbps=goodput,
+        effective_fps=fps,
+        frame_delivery_rate=delivery,
+        loss_points=tuple(float(p) for p in merged["loss_points"]),
+        modes=tuple(merged["modes"]),
+        target_fps=float(merged["target_fps"]),
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="loss_sweep",
+        title="Loss sweep — transport goodput vs. packet loss",
+        run_one=run_one,
+        decompose=_decompose,
+        merge=_merge,
+        format_result=lambda merged: _result_from_merged(merged).format(),
+        default_params={
+            "modes": LOSS_SWEEP_MODES,
+            "loss_points": DEFAULT_LOSS_POINTS,
+            "num_users": 6,
+            "num_frames": 30,
+            "quality": "high",
+            "target_fps": 30.0,
+            "airtime_fraction": 0.8,
+            "num_cells": 64,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={"num_frames": 6},
+    )
+)
+
+
 def run_loss_sweep(
     modes: tuple[str, ...] = LOSS_SWEEP_MODES,
     loss_points: tuple[float, ...] = DEFAULT_LOSS_POINTS,
@@ -121,52 +259,18 @@ def run_loss_sweep(
     repair packets); effective FPS is the per-user mean delivered frame
     rate.  Deterministic for a fixed ``seed``.
     """
-    for mode in modes:
-        if mode not in LOSS_SWEEP_MODES:
-            raise ValueError(f"unknown transport mode {mode!r}")
-    if not 0.0 < airtime_fraction <= 1.0:
-        raise ValueError("airtime_fraction must be in (0, 1]")
-
-    # Size the multicast rate from the packetized (wire) frame so the base
-    # transmission time is exactly airtime_fraction / target_fps.
-    probe = _build_plan(num_users, quality, target_fps, num_cells, 1.0)
-    shared_unit = packetize_cells(
-        probe.demands[0].cell_bytes, TransportConfig().packetization
+    merged = run_experiment(
+        "loss_sweep",
+        {
+            "modes": tuple(modes),
+            "loss_points": tuple(loss_points),
+            "num_users": num_users,
+            "num_frames": num_frames,
+            "quality": quality,
+            "target_fps": target_fps,
+            "airtime_fraction": airtime_fraction,
+            "num_cells": num_cells,
+            "seed": seed,
+        },
     )
-    rate_mbps = (
-        shared_unit.wire_bytes * 8.0 * target_fps / airtime_fraction / 1e6
-    )
-    plan = _build_plan(num_users, quality, target_fps, num_cells, rate_mbps)
-
-    goodput: dict[str, dict[float, float]] = {m: {} for m in modes}
-    fps: dict[str, dict[float, float]] = {m: {} for m in modes}
-    delivery: dict[str, dict[float, float]] = {m: {} for m in modes}
-    for mode in modes:
-        for p in loss_points:
-            sim = TransportSimulator(TransportConfig.preset(mode, base_per=p))
-            sim.reseed(seed)
-            pers = {u: p for u in range(num_users)}
-            airtime = 0.0
-            delivered_bytes = 0.0
-            delivered_frames = 0
-            fps_sum = 0.0
-            for _ in range(num_frames):
-                outcome = sim.frame_outcome(plan, pers, target_fps=target_fps)
-                airtime += outcome.airtime_s
-                delivered_bytes += outcome.app_bytes_delivered
-                delivered_frames += sum(outcome.delivered.values())
-                fps_sum += outcome.effective_fps(cap_fps=target_fps)
-            goodput[mode][p] = (
-                delivered_bytes * 8.0 / airtime / 1e6 if airtime > 0 else 0.0
-            )
-            fps[mode][p] = fps_sum / num_frames
-            delivery[mode][p] = delivered_frames / (num_frames * num_users)
-
-    return LossSweepResult(
-        goodput_mbps=goodput,
-        effective_fps=fps,
-        frame_delivery_rate=delivery,
-        loss_points=tuple(loss_points),
-        modes=tuple(modes),
-        target_fps=target_fps,
-    )
+    return _result_from_merged(merged)

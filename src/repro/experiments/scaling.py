@@ -22,6 +22,7 @@ from ..core import (
 )
 from ..mac import AC_MODEL, AD_MODEL
 from ..pointcloud import VisibilityConfig
+from ..runner import Experiment, RunSpec, register, run_experiment
 from .common import (
     DEFAULT_SEED,
     default_study,
@@ -29,7 +30,7 @@ from .common import (
     format_table,
 )
 
-__all__ = ["ScalingResult", "run_scaling", "SCALING_SYSTEMS"]
+__all__ = ["ScalingResult", "run_scaling", "run_one", "SCALING_SYSTEMS"]
 
 SCALING_SYSTEMS = (
     "802.11ac vanilla",
@@ -71,6 +72,108 @@ def _mean_fps(config: SessionConfig, num_frames: int) -> float:
     return float(np.mean(measure_max_fps(config, num_frames=num_frames, stride=3)))
 
 
+def run_one(spec: RunSpec) -> dict:
+    """One user count across all five system configurations."""
+    n = int(spec.get("num_users"))
+    quality = str(spec.get("quality"))
+    num_frames = int(spec.get("num_frames"))
+    duration_s = float(spec.get("duration_s"))
+    multicast_rate_fraction = float(spec.get("multicast_rate_fraction"))
+    seed = spec.seed
+
+    video = default_video(quality)
+    study = default_study(num_users=n, duration_s=duration_s, seed=seed)
+    fps: dict[str, float] = {}
+    for model, label in ((AC_MODEL, "802.11ac"), (AD_MODEL, "802.11ad")):
+        rates = CapacityRateProvider(model=model, num_users=n)
+        for vivo in (False, True):
+            config = SessionConfig(
+                video=video,
+                study=study,
+                rates=rates,
+                visibility=(
+                    VisibilityConfig() if vivo else VisibilityConfig.vanilla()
+                ),
+                grouping="none",
+                adaptation=FixedQualityPolicy(quality),
+                duration_s=duration_s,
+            )
+            name = f"{label} {'ViVo' if vivo else 'vanilla'}"
+            fps[name] = _mean_fps(config, num_frames)
+
+    config = SessionConfig(
+        video=video,
+        study=study,
+        rates=CapacityRateProvider(
+            model=AD_MODEL,
+            num_users=n,
+            multicast_rate_fraction=multicast_rate_fraction,
+        ),
+        visibility=VisibilityConfig(),
+        grouping="greedy",
+        adaptation=FixedQualityPolicy(quality),
+        duration_s=duration_s,
+    )
+    fps["802.11ad ViVo+multicast"] = _mean_fps(config, num_frames)
+    return {
+        "num_users": n,
+        "fps": [{"system": s, "mean_fps": fps[s]} for s in SCALING_SYSTEMS],
+    }
+
+
+def _decompose(params: dict) -> list[RunSpec]:
+    return [
+        RunSpec.make(
+            "scaling",
+            seed=params["seed"],
+            num_users=n,
+            quality=params["quality"],
+            num_frames=params["num_frames"],
+            duration_s=params["duration_s"],
+            multicast_rate_fraction=params["multicast_rate_fraction"],
+        )
+        for n in params["user_counts"]
+    ]
+
+
+def _merge(params: dict, runs: list) -> dict:
+    return {"rows": [result for _, result in runs]}
+
+
+def _result_from_merged(merged: dict) -> ScalingResult:
+    fps: dict[str, dict[int, float]] = {s: {} for s in SCALING_SYSTEMS}
+    for row in merged["rows"]:
+        n = int(row["num_users"])
+        for entry in row["fps"]:
+            fps[entry["system"]][n] = float(entry["mean_fps"])
+    return ScalingResult(fps=fps)
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="scaling",
+        title="Scaling — max users at ~30 FPS (550K quality)",
+        run_one=run_one,
+        decompose=_decompose,
+        merge=_merge,
+        format_result=lambda merged: _result_from_merged(merged).format(),
+        default_params={
+            "user_counts": (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+            "quality": "high",
+            "num_frames": 24,
+            "duration_s": 5.0,
+            "multicast_rate_fraction": 0.8,
+            "seed": DEFAULT_SEED,
+        },
+        small_params={
+            "user_counts": (1, 2),
+            "num_frames": 4,
+            "duration_s": 2.0,
+        },
+    )
+)
+
+
 def run_scaling(
     user_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
     quality: str = "high",
@@ -87,40 +190,15 @@ def run_scaling(
     the group-minimum-MCS penalty of the custom-beam multicast, the
     penalty level the Fig. 3d/3e beam experiments measure.
     """
-    video = default_video(quality)
-    fps: dict[str, dict[int, float]] = {s: {} for s in SCALING_SYSTEMS}
-
-    for n in user_counts:
-        study = default_study(num_users=n, duration_s=duration_s, seed=seed)
-        for model, label in ((AC_MODEL, "802.11ac"), (AD_MODEL, "802.11ad")):
-            rates = CapacityRateProvider(model=model, num_users=n)
-            for vivo in (False, True):
-                config = SessionConfig(
-                    video=video,
-                    study=study,
-                    rates=rates,
-                    visibility=(
-                        VisibilityConfig() if vivo else VisibilityConfig.vanilla()
-                    ),
-                    grouping="none",
-                    adaptation=FixedQualityPolicy(quality),
-                    duration_s=duration_s,
-                )
-                name = f"{label} {'ViVo' if vivo else 'vanilla'}"
-                fps[name][n] = _mean_fps(config, num_frames)
-
-        config = SessionConfig(
-            video=video,
-            study=study,
-            rates=CapacityRateProvider(
-                model=AD_MODEL,
-                num_users=n,
-                multicast_rate_fraction=multicast_rate_fraction,
-            ),
-            visibility=VisibilityConfig(),
-            grouping="greedy",
-            adaptation=FixedQualityPolicy(quality),
-            duration_s=duration_s,
-        )
-        fps["802.11ad ViVo+multicast"][n] = _mean_fps(config, num_frames)
-    return ScalingResult(fps=fps)
+    merged = run_experiment(
+        "scaling",
+        {
+            "user_counts": tuple(user_counts),
+            "quality": quality,
+            "num_frames": num_frames,
+            "duration_s": duration_s,
+            "multicast_rate_fraction": multicast_rate_fraction,
+            "seed": seed,
+        },
+    )
+    return _result_from_merged(merged)

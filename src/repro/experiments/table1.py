@@ -16,9 +16,14 @@ import numpy as np
 from ..core import CapacityRateProvider, FixedQualityPolicy, SessionConfig, measure_max_fps
 from ..mac import AC_MODEL, AD_MODEL, WlanCapacityModel
 from ..pointcloud import QUALITY_ORDER, VisibilityConfig
+from ..runner import Experiment, RunSpec, register, run_experiment
 from .common import DEFAULT_SEED, default_study, default_video, format_table
 
-__all__ = ["Table1Row", "Table1Result", "run_table1", "PAPER_TABLE1"]
+__all__ = ["Table1Row", "Table1Result", "run_table1", "run_one", "PAPER_TABLE1"]
+
+# users per network in the paper's table (3 on 802.11ac, 7 on 802.11ad).
+_MAX_USERS = {"802.11ac": 3, "802.11ad": 7}
+_MODELS = {"802.11ac": AC_MODEL, "802.11ad": AD_MODEL}
 
 # The paper's measured values, for side-by-side comparison in EXPERIMENTS.md.
 # network -> users -> (per-user Mbps, vanilla (low, med, high), vivo (...)).
@@ -98,32 +103,93 @@ def _fps_for(
     return float(np.mean(fps))
 
 
+def run_one(spec: RunSpec) -> dict:
+    """One table row: (network, user count) at every quality, both players."""
+    network = spec.get("network")
+    if network not in _MODELS:
+        raise ValueError(f"unknown network {network!r}")
+    model = _MODELS[network]
+    n = int(spec.get("num_users"))
+    num_frames = int(spec.get("num_frames"))
+    vanilla = [
+        _fps_for(model, n, q, vivo=False, num_frames=num_frames, seed=spec.seed)
+        for q in QUALITY_ORDER
+    ]
+    vivo = [
+        _fps_for(model, n, q, vivo=True, num_frames=num_frames, seed=spec.seed)
+        for q in QUALITY_ORDER
+    ]
+    return {
+        "network": network,
+        "num_users": n,
+        "per_user_rate_mbps": float(model.per_user_mbps(n)),
+        "vanilla_fps": vanilla,
+        "vivo_fps": vivo,
+    }
+
+
+def _decompose(params: dict) -> list[RunSpec]:
+    return [
+        RunSpec.make(
+            "table1",
+            seed=params["seed"],
+            network=network,
+            num_users=n,
+            num_frames=params["num_frames"],
+        )
+        for network in params["networks"]
+        for n in range(1, _MAX_USERS[network] + 1)
+    ]
+
+
+def _merge(params: dict, runs: list) -> dict:
+    return {"rows": [result for _, result in runs]}
+
+
+def _result_from_merged(merged: dict) -> Table1Result:
+    return Table1Result(
+        rows=[
+            Table1Row(
+                network=r["network"],
+                num_users=int(r["num_users"]),
+                per_user_rate_mbps=float(r["per_user_rate_mbps"]),
+                vanilla_fps=tuple(float(f) for f in r["vanilla_fps"]),
+                vivo_fps=tuple(float(f) for f in r["vivo_fps"]),
+            )
+            for r in merged["rows"]
+        ]
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="table1",
+        title="Table 1 — multi-user FPS, vanilla vs. ViVo",
+        run_one=run_one,
+        decompose=_decompose,
+        merge=_merge,
+        format_result=lambda merged: _result_from_merged(merged).format(),
+        default_params={
+            "num_frames": 45,
+            "networks": ("802.11ac", "802.11ad"),
+            "seed": DEFAULT_SEED,
+        },
+        small_params={"num_frames": 6, "networks": ("802.11ac",)},
+    )
+)
+
+
 def run_table1(
     num_frames: int = 45,
     seed: int = DEFAULT_SEED,
     networks: tuple[str, ...] = ("802.11ac", "802.11ad"),
 ) -> Table1Result:
     """Regenerate Table 1 (per-user rates and FPS at all qualities)."""
-    models = {"802.11ac": (AC_MODEL, 3), "802.11ad": (AD_MODEL, 7)}
-    rows = []
     for network in networks:
-        model, max_users = models[network]
-        for n in range(1, max_users + 1):
-            vanilla = tuple(
-                _fps_for(model, n, q, vivo=False, num_frames=num_frames, seed=seed)
-                for q in QUALITY_ORDER
-            )
-            vivo = tuple(
-                _fps_for(model, n, q, vivo=True, num_frames=num_frames, seed=seed)
-                for q in QUALITY_ORDER
-            )
-            rows.append(
-                Table1Row(
-                    network=network,
-                    num_users=n,
-                    per_user_rate_mbps=model.per_user_mbps(n),
-                    vanilla_fps=vanilla,
-                    vivo_fps=vivo,
-                )
-            )
-    return Table1Result(rows=rows)
+        if network not in _MODELS:
+            raise ValueError(f"unknown network {network!r}")
+    merged = run_experiment(
+        "table1",
+        {"num_frames": num_frames, "seed": seed, "networks": tuple(networks)},
+    )
+    return _result_from_merged(merged)

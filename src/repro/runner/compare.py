@@ -1,0 +1,93 @@
+"""Structural comparison of experiment results against golden fixtures.
+
+``diff_results`` walks two canonical-JSON result trees and returns a list
+of human-readable mismatch lines (empty = match).  Floats compare within
+the fixture's explicit tolerances; everything else — structure, strings,
+integers, orderings — must match exactly.  The golden regression tests
+fail with the full diff so drift is loud and localized, and
+``tools/regen_goldens.py`` prints the same diff when refreshing fixtures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["diff_results", "format_diff"]
+
+# Defaults chosen for cross-platform determinism: results are exact on one
+# machine, but libm/BLAS differences across platforms perturb the last few
+# bits; 1e-6 relative still catches any real modeling drift.
+DEFAULT_RTOL = 1e-6
+DEFAULT_ATOL = 1e-9
+
+
+def _close(a: float, b: float, rtol: float, atol: float) -> bool:
+    if math.isnan(a) and math.isnan(b):
+        return True
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= atol + rtol * abs(b)
+
+
+def _is_number(x: Any) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def diff_results(
+    expected: Any,
+    actual: Any,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+    path: str = "$",
+) -> list[str]:
+    """All mismatches between two JSON-shaped trees, as ``path: detail``."""
+    if _is_number(expected) and _is_number(actual):
+        if not _close(float(actual), float(expected), rtol, atol):
+            delta = float(actual) - float(expected)
+            return [
+                f"{path}: expected {expected!r}, got {actual!r} "
+                f"(delta {delta:+.3e}, rtol={rtol:g}, atol={atol:g})"
+            ]
+        return []
+    if type(expected) is not type(actual):
+        return [
+            f"{path}: type changed {type(expected).__name__} -> "
+            f"{type(actual).__name__} (expected {expected!r}, got {actual!r})"
+        ]
+    if isinstance(expected, dict):
+        diffs: list[str] = []
+        for key in sorted(set(expected) - set(actual)):
+            diffs.append(f"{path}.{key}: missing from actual result")
+        for key in sorted(set(actual) - set(expected)):
+            diffs.append(f"{path}.{key}: unexpected new key")
+        for key in sorted(set(expected) & set(actual)):
+            diffs.extend(
+                diff_results(expected[key], actual[key], rtol, atol, f"{path}.{key}")
+            )
+        return diffs
+    if isinstance(expected, list):
+        diffs = []
+        if len(expected) != len(actual):
+            diffs.append(
+                f"{path}: length changed {len(expected)} -> {len(actual)}"
+            )
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            diffs.extend(diff_results(e, a, rtol, atol, f"{path}[{i}]"))
+        return diffs
+    if expected != actual:
+        return [f"{path}: expected {expected!r}, got {actual!r}"]
+    return []
+
+
+def format_diff(diffs: list[str], max_lines: int = 40) -> str:
+    """Render a diff list for an assertion message (truncated if huge)."""
+    if not diffs:
+        return "results match"
+    shown = diffs[:max_lines]
+    suffix = (
+        [f"... and {len(diffs) - max_lines} more mismatch(es)"]
+        if len(diffs) > max_lines
+        else []
+    )
+    return "\n".join([f"{len(diffs)} mismatch(es):"] + shown + suffix)

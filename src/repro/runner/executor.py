@@ -1,0 +1,157 @@
+"""Deterministic fan-out of experiment work units across processes.
+
+``run_specs`` executes a list of :class:`RunSpec` either in-process
+(``workers <= 1``) or on a ``multiprocessing`` pool, and always returns
+results **in input-spec order** — completion order, worker assignment, and
+cache hits are invisible to the caller, which is what makes
+``--parallel N`` bit-identical to the serial path.
+
+Every result is normalized through a canonical JSON round trip before it
+is returned or cached, so a freshly computed result and one read back from
+the disk cache are the *same object shape* (string keys, lists, plain
+floats) and merge identically.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from .cache import ResultCache
+from .registry import Experiment, get_experiment, resolve_params
+from .spec import RunSpec, canonical_json
+
+__all__ = ["RunReport", "run_specs", "run_experiment"]
+
+ProgressFn = Callable[["RunReport", int, int], None]
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """One completed work unit: its spec, normalized result, and timing."""
+
+    spec: RunSpec
+    result: dict[str, Any]
+    elapsed_s: float
+    cached: bool = False
+
+
+def _canonical_result(result: Mapping[str, Any]) -> dict[str, Any]:
+    """Force the result into its canonical JSON shape (and validate it)."""
+    if not isinstance(result, dict):
+        raise TypeError(
+            f"run_one must return a dict, got {type(result).__name__}"
+        )
+    try:
+        return json.loads(canonical_json(result))
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"run_one result is not JSON-serializable: {exc}") from exc
+
+
+def _execute_one(spec: RunSpec) -> tuple[RunSpec, dict[str, Any], float]:
+    """Worker entry point: look the experiment up and run the unit.
+
+    Importing :mod:`repro.experiments` here (via the registry) makes the
+    function self-sufficient under the ``spawn`` start method, where the
+    child begins with an empty registry.
+    """
+    experiment = get_experiment(spec.experiment)
+    t0 = time.perf_counter()
+    result = _canonical_result(experiment.run_one(spec))
+    return spec, result, time.perf_counter() - t0
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork is cheaper and inherits the warm fixture caches; fall back to
+    # spawn where fork is unavailable (the worker re-imports and rebuilds).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: ProgressFn | None = None,
+) -> list[RunReport]:
+    """Run work units and return reports **in input order**.
+
+    Duplicate specs execute once and fan back out to every position.
+    ``workers <= 1`` runs in-process; otherwise a process pool computes the
+    cache misses while hits are served from disk.  With a cache, fresh
+    results are persisted before returning.
+    """
+    specs = list(specs)
+    order: list[RunSpec] = []
+    seen: set[RunSpec] = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            order.append(spec)
+
+    done: dict[RunSpec, RunReport] = {}
+    pending: list[RunSpec] = []
+    for spec in order:
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            done[spec] = RunReport(spec=spec, result=hit, elapsed_s=0.0, cached=True)
+        else:
+            pending.append(spec)
+
+    total = len(order)
+    completed = 0
+    if progress is not None:
+        for spec in order:
+            if spec in done:
+                completed += 1
+                progress(done[spec], completed, total)
+    else:
+        completed = len(done)
+
+    def _finish(spec: RunSpec, result: dict[str, Any], elapsed: float) -> None:
+        nonlocal completed
+        report = RunReport(spec=spec, result=result, elapsed_s=elapsed, cached=False)
+        if cache is not None:
+            cache.put(spec, result, elapsed_s=elapsed)
+        done[spec] = report
+        completed += 1
+        if progress is not None:
+            progress(report, completed, total)
+
+    if workers <= 1 or len(pending) <= 1:
+        for spec in pending:
+            _, result, elapsed = _execute_one(spec)
+            _finish(spec, result, elapsed)
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(workers, len(pending))) as pool:
+            # Unordered completion for liveness; results are keyed by spec,
+            # so arrival order never reaches the caller.
+            for spec, result, elapsed in pool.imap_unordered(_execute_one, pending):
+                _finish(spec, result, elapsed)
+
+    return [done[spec] for spec in specs]
+
+
+def run_experiment(
+    name: str,
+    overrides: Mapping[str, Any] | None = None,
+    *,
+    scale: str = "default",
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: ProgressFn | None = None,
+) -> dict[str, Any]:
+    """Decompose → run → merge one experiment; returns the merged dict.
+
+    This is the path both the thin serial wrappers (``run_table1`` et al.)
+    and the parallel CLI go through, so the two can never drift apart.
+    """
+    experiment: Experiment = get_experiment(name)
+    params = resolve_params(experiment, overrides, scale=scale)
+    spec_list = list(experiment.decompose(params))
+    reports = run_specs(spec_list, workers=workers, cache=cache, progress=progress)
+    return experiment.merge(params, [(r.spec, r.result) for r in reports])

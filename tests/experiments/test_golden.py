@@ -1,0 +1,55 @@
+"""Golden-result regression suite.
+
+Every fixture under ``goldens/`` pins the full merged result of one
+experiment at its small parameter scale.  The test re-runs the experiment
+with the *exact parameters stored in the fixture* (so later changes to the
+small-scale defaults cannot silently move the goalposts) and compares the
+whole result tree against the stored one with the fixture's tolerances.
+
+A failure prints a structured diff of every drifted path.  If the drift is
+an intentional behavior change, regenerate with::
+
+    PYTHONPATH=src python tools/regen_goldens.py
+
+and review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runner import diff_results, format_diff, run_experiment
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_NAMES = sorted(path.stem for path in GOLDEN_DIR.glob("*.json"))
+
+
+def _load(name: str) -> dict:
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8"))
+
+
+def test_golden_coverage():
+    """The regression net must span at least five experiments."""
+    assert len(GOLDEN_NAMES) >= 5, GOLDEN_NAMES
+
+
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_golden(name):
+    payload = _load(name)
+    merged = run_experiment(payload["experiment"], payload["params"])
+    diffs = diff_results(
+        payload["result"],
+        merged,
+        rtol=payload["rtol"],
+        atol=payload["atol"],
+    )
+    assert not diffs, (
+        f"{name} drifted from its golden fixture "
+        f"(tests/experiments/goldens/{name}.json):\n"
+        f"{format_diff(diffs)}\n"
+        "If this change is intentional, regenerate with "
+        "`PYTHONPATH=src python tools/regen_goldens.py` and review the diff."
+    )

@@ -1,0 +1,59 @@
+"""diff_results: tolerance semantics and structural mismatch reporting."""
+
+from __future__ import annotations
+
+from repro.runner import diff_results, format_diff
+
+
+def test_equal_trees_match():
+    tree = {"a": [1, 2.5, "x"], "b": {"c": True, "d": None}}
+    assert diff_results(tree, tree) == []
+    assert format_diff([]) == "results match"
+
+
+def test_float_within_tolerance_matches():
+    assert diff_results({"v": 1.0}, {"v": 1.0 + 1e-10}) == []
+    assert diff_results({"v": 1.0}, {"v": 1.0 + 1e-3}) != []
+
+
+def test_custom_tolerances():
+    assert diff_results({"v": 100.0}, {"v": 101.0}, rtol=0.05) == []
+    assert diff_results({"v": 100.0}, {"v": 101.0}, rtol=1e-6) != []
+
+
+def test_int_float_compare_numerically():
+    assert diff_results({"v": 1}, {"v": 1.0}) == []
+
+
+def test_bool_is_not_a_number():
+    diffs = diff_results({"v": True}, {"v": 1})
+    assert diffs and "type changed" in diffs[0]
+
+
+def test_nan_and_inf():
+    assert diff_results({"v": float("nan")}, {"v": float("nan")}) == []
+    assert diff_results({"v": float("inf")}, {"v": float("inf")}) == []
+    assert diff_results({"v": float("inf")}, {"v": 1.0}) != []
+
+
+def test_missing_and_new_keys_are_reported():
+    diffs = diff_results({"a": 1, "b": 2}, {"b": 2, "c": 3})
+    assert any("$.a: missing" in d for d in diffs)
+    assert any("$.c: unexpected new key" in d for d in diffs)
+
+
+def test_list_length_and_element_paths():
+    diffs = diff_results({"xs": [1, 2, 3]}, {"xs": [1, 9]})
+    assert any("length changed 3 -> 2" in d for d in diffs)
+    assert any(d.startswith("$.xs[1]:") for d in diffs)
+
+
+def test_string_mismatch_is_exact():
+    assert diff_results({"s": "abc"}, {"s": "abd"}) != []
+
+
+def test_format_diff_truncates():
+    diffs = [f"$.x[{i}]: boom" for i in range(50)]
+    text = format_diff(diffs, max_lines=10)
+    assert "50 mismatch(es):" in text
+    assert "... and 40 more mismatch(es)" in text

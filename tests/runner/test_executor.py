@@ -1,0 +1,133 @@
+"""Executor semantics on toy experiments: order, dedupe, cache, progress.
+
+The toys are registered for the duration of this module only and removed
+again afterwards, so registry-wide tests (equivalence suite, CLI) never
+see them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import (
+    Experiment,
+    ResultCache,
+    RunSpec,
+    register,
+    run_experiment,
+    run_specs,
+)
+from repro.runner.registry import _REGISTRY
+
+CALLS: list[int] = []
+
+
+def _toy_run_one(spec: RunSpec) -> dict:
+    CALLS.append(spec.get("x"))
+    return {"doubled": spec.get("x") * 2, "seed": spec.seed}
+
+
+def _toy_decompose(params: dict) -> list[RunSpec]:
+    return [
+        RunSpec.make("toy_double", seed=params["seed"], x=x)
+        for x in params["xs"]
+    ]
+
+
+def _toy_merge(params: dict, runs: list) -> dict:
+    return {"values": [result["doubled"] for _, result in runs]}
+
+
+@pytest.fixture(autouse=True, scope="module")
+def toy_experiment():
+    register(
+        Experiment(
+            name="toy_double",
+            run_one=_toy_run_one,
+            decompose=_toy_decompose,
+            merge=_toy_merge,
+            format_result=lambda merged: str(merged["values"]),
+            default_params={"xs": (1, 2, 3), "seed": 7},
+            small_params={"xs": (1, 2)},
+        )
+    )
+    yield
+    _REGISTRY.pop("toy_double", None)
+
+
+@pytest.fixture(autouse=True)
+def reset_calls():
+    CALLS.clear()
+
+
+def _specs(*xs: int) -> list[RunSpec]:
+    return [RunSpec.make("toy_double", x=x) for x in xs]
+
+
+def test_results_come_back_in_input_order():
+    reports = run_specs(_specs(3, 1, 2))
+    assert [r.result["doubled"] for r in reports] == [6, 2, 4]
+    assert [r.spec.get("x") for r in reports] == [3, 1, 2]
+
+
+def test_duplicates_execute_once_and_fan_out():
+    reports = run_specs(_specs(5, 5, 5, 1))
+    assert [r.result["doubled"] for r in reports] == [10, 10, 10, 2]
+    assert CALLS == [5, 1]
+
+
+def test_cache_serves_second_run(tmp_path):
+    cache = ResultCache(root=tmp_path, version="test")
+    first = run_specs(_specs(1, 2), cache=cache)
+    assert [r.cached for r in first] == [False, False]
+    second = run_specs(_specs(1, 2), cache=cache)
+    assert [r.cached for r in second] == [True, True]
+    assert [r.result for r in first] == [r.result for r in second]
+    assert CALLS == [1, 2]  # nothing recomputed on the second run
+
+
+def test_progress_reports_every_unit(tmp_path):
+    cache = ResultCache(root=tmp_path, version="test")
+    run_specs(_specs(1), cache=cache)
+
+    seen: list[tuple[str, int, int, bool]] = []
+
+    def progress(report, completed, total):
+        seen.append((report.spec.key(), completed, total, report.cached))
+
+    run_specs(_specs(1, 2), cache=cache, progress=progress)
+    assert [(c, t) for _, c, t, _ in seen] == [(1, 2), (2, 2)]
+    assert [cached for *_, cached in seen] == [True, False]
+
+
+def test_parallel_pool_preserves_order():
+    reports = run_specs(_specs(4, 3, 2, 1), workers=2)
+    assert [r.result["doubled"] for r in reports] == [8, 6, 4, 2]
+
+
+def test_non_dict_result_is_rejected():
+    register(
+        Experiment(
+            name="toy_bad",
+            run_one=lambda spec: [1, 2],  # not a dict
+            decompose=lambda params: [RunSpec.make("toy_bad")],
+            merge=lambda params, runs: runs[0][1],
+            format_result=str,
+        )
+    )
+    try:
+        with pytest.raises(TypeError, match="must return a dict"):
+            run_specs([RunSpec.make("toy_bad")])
+    finally:
+        _REGISTRY.pop("toy_bad", None)
+
+
+def test_run_experiment_resolves_scale_and_merges():
+    assert run_experiment("toy_double") == {"values": [2, 4, 6]}
+    assert run_experiment("toy_double", scale="small") == {"values": [2, 4]}
+    assert run_experiment("toy_double", {"xs": (10,)}) == {"values": [20]}
+
+
+def test_run_experiment_rejects_unknown_override():
+    with pytest.raises(ValueError, match="unknown parameter"):
+        run_experiment("toy_double", {"nope": 1})

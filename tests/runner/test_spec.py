@@ -1,0 +1,73 @@
+"""RunSpec: identity, canonicalization, JSON round trips, digests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import RunSpec, canonical_json
+
+
+def test_params_are_sorted_and_frozen():
+    spec = RunSpec.make("exp", b=2, a=1)
+    assert spec.params == (("a", 1), ("b", 2))
+    assert spec.params_dict == {"a": 1, "b": 2}
+    assert spec.get("a") == 1
+    assert spec.get("missing", 42) == 42
+
+
+def test_order_of_construction_is_irrelevant():
+    a = RunSpec.make("exp", x=1, y=(1, 2), seed=3)
+    b = RunSpec.make("exp", y=[1, 2], x=1, seed=3)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a.digest("0") == b.digest("0")
+
+
+def test_lists_freeze_to_tuples():
+    spec = RunSpec.make("exp", values=[1, [2, 3]])
+    assert spec.get("values") == (1, (2, 3))
+
+
+def test_rejects_unhashable_values():
+    with pytest.raises(TypeError):
+        RunSpec.make("exp", bad={"a": 1})
+
+
+def test_rejects_empty_name_and_duplicates():
+    with pytest.raises(ValueError):
+        RunSpec.make("")
+    with pytest.raises(ValueError):
+        RunSpec(experiment="exp", params=(("a", 1), ("a", 2)))
+
+
+def test_key_is_readable():
+    spec = RunSpec.make("table1", num_users=3, seed=7)
+    assert spec.key() == "table1[num_users=3]@7"
+
+
+def test_jsonable_round_trip():
+    spec = RunSpec.make("exp", x=1.5, names=("a", "b"), flag=True, seed=11)
+    payload = spec.to_jsonable()
+    assert payload["params"]["names"] == ["a", "b"]
+    restored = RunSpec.from_jsonable(payload)
+    assert restored == spec
+    # Canonical JSON is stable across the round trip too.
+    assert canonical_json(restored.to_jsonable()) == canonical_json(payload)
+
+
+def test_digest_sensitivity():
+    base = RunSpec.make("exp", x=1, seed=7)
+    assert base.digest("1.0") == RunSpec.make("exp", x=1, seed=7).digest("1.0")
+    assert base.digest("1.0") != base.digest("1.1")
+    assert base.digest("1.0") != RunSpec.make("exp", x=2, seed=7).digest("1.0")
+    assert base.digest("1.0") != RunSpec.make("exp", x=1, seed=8).digest("1.0")
+
+
+def test_sort_key_total_order():
+    specs = [
+        RunSpec.make("b", x=1),
+        RunSpec.make("a", x=2),
+        RunSpec.make("a", x=1),
+    ]
+    ordered = sorted(specs, key=lambda s: s.sort_key())
+    assert [s.experiment for s in ordered] == ["a", "a", "b"]

@@ -1,0 +1,136 @@
+"""Property-based tests for the discrete-event engine (hypothesis).
+
+Randomized seeded schedules pin down the determinism contract the parallel
+runner and the transport/session simulators lean on:
+
+* events scheduled at equal timestamps fire in FIFO (scheduling) order;
+* ``all_of`` collects values in input order, ``any_of`` yields the winner
+  (ties resolved by scheduling order);
+* zero-delay process hops interleave deterministically and never reorder
+  the observable event log between runs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment, all_of, any_of
+
+delays = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=32)
+delay_lists = st.lists(delays, min_size=1, max_size=20)
+
+
+def _fire_log(delay_list):
+    """Run one schedule; log (time, tag) in firing order."""
+    env = Environment()
+    log = []
+
+    def emitter(env, tag, delay):
+        yield env.timeout(delay)
+        log.append((env.now, tag))
+
+    for tag, delay in enumerate(delay_list):
+        env.process(emitter(env, tag, delay))
+    env.run_until_empty()
+    return log
+
+
+@given(delay_lists)
+@settings(max_examples=80, deadline=None)
+def test_equal_timestamps_fire_in_fifo_order(delay_list):
+    log = _fire_log(delay_list)
+    assert sorted(tag for _, tag in log) == list(range(len(delay_list)))
+    # Global order: by time, then by scheduling order — exactly the stable
+    # sort of the input by delay.  Equal delays keep their input order.
+    expected = [
+        tag
+        for tag, _ in sorted(enumerate(delay_list), key=lambda item: item[1])
+    ]
+    assert [tag for _, tag in log] == expected
+
+
+@given(delay_lists)
+@settings(max_examples=80, deadline=None)
+def test_identical_schedules_replay_identically(delay_list):
+    assert _fire_log(delay_list) == _fire_log(delay_list)
+
+
+@given(delay_lists)
+@settings(max_examples=60, deadline=None)
+def test_all_of_collects_values_in_input_order(delay_list):
+    env = Environment()
+    events = [
+        env.timeout(delay, value=f"v{tag}")
+        for tag, delay in enumerate(delay_list)
+    ]
+    collected = []
+
+    def collector(env):
+        values = yield all_of(env, events)
+        collected.append(values)
+
+    env.process(collector(env))
+    env.run_until_empty()
+    assert collected == [[f"v{tag}" for tag in range(len(delay_list))]]
+    assert env.now == max(delay_list)
+
+
+@given(delay_lists)
+@settings(max_examples=60, deadline=None)
+def test_any_of_yields_first_winner(delay_list):
+    env = Environment()
+    events = [
+        env.timeout(delay, value=tag) for tag, delay in enumerate(delay_list)
+    ]
+    winners = []
+
+    def racer(env):
+        winner = yield any_of(env, events)
+        winners.append((env.now, winner))
+
+    env.process(racer(env))
+    env.run_until_empty()
+    min_delay = min(delay_list)
+    # Ties at the minimum resolve to the first-scheduled event.
+    expected_winner = delay_list.index(min_delay)
+    assert winners == [(min_delay, expected_winner)]
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=8),
+    delays,
+)
+@settings(max_examples=60, deadline=None)
+def test_zero_delay_hops_never_reorder_observable_events(hop_counts, delay):
+    """Processes taking different numbers of zero-delay hops stay FIFO.
+
+    Each process performs its zero-delay hops, then logs once at the same
+    virtual time.  However many internal hops a process takes, observable
+    events at a given timestamp must appear in the order the processes
+    reached that timestamp — and the whole log must replay identically.
+    """
+
+    def run_once():
+        env = Environment()
+        log = []
+
+        def hopper(env, tag, hops):
+            yield env.timeout(delay)
+            for _ in range(hops):
+                yield env.timeout(0.0)
+            log.append((env.now, tag))
+
+        for tag, hops in enumerate(hop_counts):
+            env.process(hopper(env, tag, hops))
+        env.run_until_empty()
+        return log
+
+    first = run_once()
+    assert first == run_once()
+    assert all(t == delay for t, _ in first)
+    # Fewer hops -> resumes earlier; equal hop counts keep input order.
+    expected = [
+        tag
+        for tag, _ in sorted(enumerate(hop_counts), key=lambda item: item[1])
+    ]
+    assert [tag for _, tag in first] == expected

@@ -53,3 +53,67 @@ def test_cli_loss_sweep_single_mode(capsys):
     assert "fec Mbps|fps" in out
     assert "arq Mbps|fps" not in out
     assert "fec/arq" not in out  # ratio needs both modes
+
+
+def test_cli_run_caches_and_reports(capsys, tmp_path):
+    argv = [
+        "run", "loss_sweep", "fig3d",
+        "--scale", "small",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "Loss sweep" in out and "Fig. 3d" in out
+    assert "5 run(s)" in out  # 4 loss_sweep modes + 1 fig3d unit
+    hits = [line for line in out.splitlines() if line.endswith("cached")]
+    assert not hits  # cold cache: everything computed
+
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    hits = [line for line in out.splitlines() if line.endswith("cached")]
+    assert len(hits) == 5  # every unit served from the cache
+
+
+def test_cli_run_no_cache_writes_nothing(capsys, tmp_path):
+    argv = [
+        "run", "fig3d",
+        "--scale", "small",
+        "--no-cache",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    assert not list(tmp_path.rglob("*.json"))
+
+
+def test_cli_run_seed_override_changes_numbers(capsys, tmp_path):
+    base = ["run", "fig3d", "--scale", "small", "--no-cache", "--quiet"]
+    assert main(base) == 0
+    out_default = capsys.readouterr().out
+    assert main(base + ["--seed", "123"]) == 0
+    out_reseeded = capsys.readouterr().out
+    assert out_default != out_reseeded
+
+
+def test_cli_run_rejects_unknown_experiment():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "frobnicate"])
+    message = str(excinfo.value)
+    assert "unknown experiment" in message and "table1" in message
+
+
+def test_cli_run_writes_timings(capsys, tmp_path):
+    timings = tmp_path / "timings.json"
+    argv = [
+        "run", "fig3d",
+        "--scale", "small",
+        "--no-cache",
+        "--quiet",
+        "--timings", str(timings),
+    ]
+    assert main(argv) == 0
+    assert timings.exists()
+    import json
+
+    payload = json.loads(timings.read_text())
+    assert payload["workers"] == 1
+    assert payload["experiments"]["fig3d"]["runs"] == 1
