@@ -30,6 +30,7 @@ def _list_rules() -> str:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
@@ -96,6 +97,7 @@ def _select_rules(spec: str | None):
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro lint`` (returns a process exit status)."""
     parser = build_parser()
     args = parser.parse_args(argv)
 

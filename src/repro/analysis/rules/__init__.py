@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..visitor import Rule
 from .determinism import DETERMINISM_RULES
+from .docs import DOCS_RULES
 from .hygiene import HYGIENE_RULES
 from .simproc import SIMPROC_RULES
 from .units import UNITS_RULES
@@ -13,12 +14,14 @@ ALL_RULES: tuple[type[Rule], ...] = (
     *UNITS_RULES,
     *SIMPROC_RULES,
     *HYGIENE_RULES,
+    *DOCS_RULES,
 )
 
 __all__ = ["ALL_RULES", "rules_by_family", "rule_ids"]
 
 
 def rules_by_family() -> dict[str, list[type[Rule]]]:
+    """All registered rules grouped by family, in registration order."""
     families: dict[str, list[type[Rule]]] = {}
     for rule in ALL_RULES:
         families.setdefault(rule.family, []).append(rule)
@@ -26,4 +29,5 @@ def rules_by_family() -> dict[str, list[type[Rule]]]:
 
 
 def rule_ids() -> list[str]:
+    """Every registered rule id, in registration order."""
     return [rule.rule_id for rule in ALL_RULES]

@@ -51,6 +51,8 @@ _SEEDED_CONSTRUCTORS = frozenset(
 
 
 class WallClockRule(Rule):
+    """D101: flags wall-clock reads that would leak real time into results."""
+
     rule_id = "D101"
     family = "determinism"
     summary = (
@@ -71,6 +73,8 @@ class WallClockRule(Rule):
 
 
 class UnseededRngRule(Rule):
+    """D102: flags RNG constructors called without an explicit seed."""
+
     rule_id = "D102"
     family = "determinism"
     summary = "RNG constructors must receive an explicit seed"
@@ -91,6 +95,8 @@ class UnseededRngRule(Rule):
 
 
 class GlobalRngRule(Rule):
+    """D103: flags the module-global numpy/random RNG (hidden shared state)."""
+
     rule_id = "D103"
     family = "determinism"
     summary = (
@@ -139,6 +145,8 @@ def _is_set_expr(node: ast.expr) -> bool:
 
 
 class SetIterationRule(Rule):
+    """D104: flags iterating bare sets where the order can reach results."""
+
     rule_id = "D104"
     family = "determinism"
     summary = "don't iterate bare sets into results; sort first"

@@ -1,0 +1,76 @@
+"""Documentation-hygiene rules (H5xx).
+
+The repo's public-API convention is explicit: every library module lists
+its exported names in ``__all__``.  H501 enforces the matching
+documentation contract — every module-level function or class *exported
+via* ``__all__`` must carry a docstring, because ``docs/ARCHITECTURE.md``
+and the generated ``docs/METRICS.md`` lean on them.  Modules without an
+``__all__`` (scripts, test fixtures, inline snippets) are out of scope by
+design.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..visitor import Rule
+
+__all__ = ["DOCS_RULES"]
+
+
+def _exported_names(module: ast.Module) -> frozenset[str]:
+    """String entries of a module-level ``__all__`` list/tuple, if any."""
+    names: set[str] = set()
+    for stmt in module.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    names.add(elt.value)
+    return frozenset(names)
+
+
+class PublicDocstringRule(Rule):
+    """H501: flags ``__all__``-exported functions/classes with no docstring."""
+
+    rule_id = "H501"
+    family = "docs"
+    summary = (
+        "functions and classes exported via __all__ must carry a docstring"
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        exported = _exported_names(node)
+        if not exported:
+            return
+        for stmt in node.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if stmt.name not in exported:
+                continue
+            if ast.get_docstring(stmt) is None:
+                kind = "class" if isinstance(stmt, ast.ClassDef) else "function"
+                self.report(
+                    stmt,
+                    f"exported {kind} `{stmt.name}` has no docstring; one "
+                    "sentence on what it is/returns is the repo convention",
+                )
+        # Module-level exports only by design: nested helpers and methods
+        # are judged in review, not by lint.
+
+
+DOCS_RULES = (PublicDocstringRule,)

@@ -3,7 +3,8 @@
 Library code must survive ``python -O`` (which strips every ``assert``),
 must not share mutable default arguments across calls, and every
 ``*Config`` dataclass must validate its fields in ``__post_init__`` — the
-repo-wide convention (see net/config.py, core/session.py).
+repo-wide convention (see net/config.py, core/session.py).  Documentation
+hygiene (H5xx) lives in :mod:`repro.analysis.rules.docs`.
 """
 
 from __future__ import annotations
@@ -16,6 +17,8 @@ __all__ = ["HYGIENE_RULES"]
 
 
 class AssertRule(Rule):
+    """H401: flags ``assert`` in library code (stripped by ``python -O``)."""
+
     rule_id = "H401"
     family = "hygiene"
     summary = "no assert for control flow in library code (`-O` strips it)"
@@ -45,6 +48,8 @@ def _is_mutable_default(node: ast.expr | None) -> bool:
 
 
 class MutableDefaultRule(Rule):
+    """H402: flags mutable default arguments (shared across calls)."""
+
     rule_id = "H402"
     family = "hygiene"
     summary = "no mutable default arguments"
@@ -70,6 +75,8 @@ def _is_dataclass_decorator(node: ast.expr) -> bool:
 
 
 class ConfigValidationRule(Rule):
+    """H403: flags ``*Config`` dataclasses without ``__post_init__`` checks."""
+
     rule_id = "H403"
     family = "hygiene"
     summary = (

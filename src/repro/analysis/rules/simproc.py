@@ -37,6 +37,8 @@ def _contains_yield(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
 
 
 class DroppedEventRule(Rule):
+    """S301: flags sim events created but never yielded/held (dropped)."""
+
     rule_id = "S301"
     family = "simproc"
     summary = (
@@ -60,6 +62,8 @@ class DroppedEventRule(Rule):
 
 
 class BlockingSleepRule(Rule):
+    """S302: flags blocking ``time.sleep`` inside simulation library code."""
+
     rule_id = "S302"
     family = "simproc"
     summary = "no blocking time.sleep in simulation library code"
@@ -75,6 +79,8 @@ class BlockingSleepRule(Rule):
 
 
 class YieldBareCallRule(Rule):
+    """S303: flags yielding a bare call result that is not an engine event."""
+
     rule_id = "S303"
     family = "simproc"
     summary = (

@@ -74,6 +74,8 @@ def _hint(left: str, right: str) -> str:
 
 
 class UnitMixRule(Rule):
+    """U201: flags arithmetic mixing differently-suffixed unit variables."""
+
     rule_id = "U201"
     family = "units"
     summary = (
@@ -113,6 +115,8 @@ class UnitMixRule(Rule):
 
 
 class UnitAssignRule(Rule):
+    """U202: flags assigning one unit suffix directly to another."""
+
     rule_id = "U202"
     family = "units"
     summary = (

@@ -8,11 +8,13 @@
     python -m repro lint                      # repo-specific static analysis
     python -m repro run table1 --parallel 4   # parallel runner + result cache
     python -m repro figures --parallel 4      # every registered figure/table
+    python -m repro trace loss_sweep          # structured JSONL timeline
 
 Each command prints the same formatted rows the benchmarks assert on.
 ``lint`` forwards to :mod:`repro.analysis` (same as
 ``python -m repro.analysis``); ``run`` and ``figures`` forward to the
-deterministic parallel runner in :mod:`repro.runner.cli`.
+deterministic parallel runner in :mod:`repro.runner.cli`; ``trace``
+forwards to the observability recorder in :mod:`repro.obs.cli`.
 """
 
 from __future__ import annotations
@@ -180,6 +182,7 @@ COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` (returns a process exit status)."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
         from .analysis.cli import main as lint_main
@@ -189,6 +192,10 @@ def main(argv: list[str] | None = None) -> int:
         from .runner.cli import main as runner_main
 
         return runner_main(argv)
+    if argv and argv[0] == "trace":
+        from .obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -24,6 +24,8 @@ from itertools import combinations
 from typing import Callable, Sequence
 
 from ..mac.scheduler import FramePlan, UserDemand, plan_frame
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .similarity import group_iou
 
 __all__ = [
@@ -34,6 +36,30 @@ __all__ = [
 ]
 
 RateFn = Callable[[tuple[int, ...]], float]
+
+_C_GROUPING = _metrics.counter(
+    "core.grouping_decisions", unit="decisions", layer="core",
+    help="frame partitions committed by a grouping policy (one per frame "
+         "planned, any policy)",
+)
+_EV_GROUP = _trace.event_type(
+    "core.group_decision", layer="core",
+    help="a grouping policy committed a partition: how many multicast "
+         "groups and how many users share beams this frame",
+    fields=("policy", "groups", "grouped_users"),
+)
+
+
+def _record(result: "GroupingResult") -> "GroupingResult":
+    """Count and trace a committed grouping decision, pass it through."""
+    _C_GROUPING.inc()
+    if _trace._RECORDER is not None:
+        _EV_GROUP.emit(
+            policy=result.policy,
+            groups=len(result.plan.groups),
+            grouped_users=len(result.plan.grouped_users),
+        )
+    return result
 
 
 @dataclass(frozen=True)
@@ -58,7 +84,7 @@ class GroupingResult:
 
 def no_grouping(demands: Sequence[UserDemand]) -> GroupingResult:
     """Pure unicast baseline."""
-    return GroupingResult(plan=plan_frame(list(demands)), policy="unicast")
+    return _record(GroupingResult(plan=plan_frame(list(demands)), policy="unicast"))
 
 
 def _visibility_map(demand: UserDemand) -> frozenset:
@@ -116,7 +142,7 @@ def greedy_similarity_grouping(
                 best_plan = trial_plan
                 improved = True
                 break
-    return GroupingResult(plan=best_plan, policy="greedy-similarity")
+    return _record(GroupingResult(plan=best_plan, policy="greedy-similarity"))
 
 
 def _partitions(items: list[int]):
@@ -163,4 +189,4 @@ def exhaustive_grouping(
             best_plan = plan
     if best_plan is None:  # unreachable: _partitions always yields once
         raise RuntimeError("exhaustive grouping evaluated no partition")
-    return GroupingResult(plan=best_plan, policy="exhaustive")
+    return _record(GroupingResult(plan=best_plan, policy="exhaustive"))

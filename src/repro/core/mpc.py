@@ -17,11 +17,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import product
 
+from ..obs import trace as _trace
 from ..pointcloud import QUALITIES, QUALITY_ORDER
 from .adaptation import AdaptationDecision, AdaptationInputs
 from .bandwidth import EwmaThroughputPredictor
 
 __all__ = ["MpcPolicy"]
+
+_EV_MPC = _trace.event_type(
+    "core.mpc_decision", layer="core",
+    help="the MPC policy enumerated its lookahead and committed the first "
+         "step of the best quality sequence",
+    fields=("user", "quality", "bandwidth_mbps", "score"),
+)
 
 
 @dataclass
@@ -66,6 +74,13 @@ class MpcPolicy:
             if score > best_score:
                 best_score = score
                 best_quality = sequence[0]
+        if _trace._RECORDER is not None:
+            _EV_MPC.emit(
+                user=inputs.user_id,
+                quality=best_quality,
+                bandwidth_mbps=bandwidth,
+                score=best_score,
+            )
         return AdaptationDecision(quality=best_quality)
 
     def _score(

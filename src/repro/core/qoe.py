@@ -15,7 +15,42 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+
 __all__ = ["QoEWeights", "UserSessionStats", "QoEReport"]
+
+# Shared core-layer instrumentation: declared here (the QoE accounting
+# module) and emitted by the session simulator and the open-loop sweeps.
+FRAMES_PLAYED = _metrics.counter(
+    "core.frames_played", unit="frames", layer="core",
+    help="frames played out across all client buffers",
+)
+STALL_SECONDS = _metrics.counter(
+    "core.stall_seconds", unit="s", layer="core",
+    help="playback stall time accumulated across all users",
+)
+QUALITY_SWITCHES = _metrics.counter(
+    "core.quality_switches", unit="switches", layer="core",
+    help="quality-level changes committed by the adaptation policy",
+)
+QOE_SAMPLE = _trace.event_type(
+    "core.qoe_sample", layer="core",
+    help="one frame-rate QoE sample (per user per played second in the "
+         "closed loop; per frame with user -1 in open-loop sweeps)",
+    fields=("user", "fps"),
+)
+PLAYBACK_STATE = _trace.event_type(
+    "core.playback_state", layer="core",
+    help="a client's playback state changed (playing, stalled, resumed)",
+    fields=("user", "state"),
+)
+ADAPTATION_DECISION = _trace.event_type(
+    "core.adaptation_decision", layer="core",
+    help="the adaptation policy committed a quality/prefetch decision for "
+         "one user",
+    fields=("user", "quality", "prefetch_extra", "throughput_mbps"),
+)
 
 
 @dataclass(frozen=True)

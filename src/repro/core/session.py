@@ -45,7 +45,17 @@ from .grouping import (
     greedy_similarity_grouping,
     no_grouping,
 )
-from .qoe import QoEReport, UserSessionStats
+from ..obs import trace as _trace
+from .qoe import (
+    ADAPTATION_DECISION,
+    FRAMES_PLAYED,
+    PLAYBACK_STATE,
+    QOE_SAMPLE,
+    QUALITY_SWITCHES,
+    QoEReport,
+    STALL_SECONDS,
+    UserSessionStats,
+)
 from .rates import RateProvider
 
 __all__ = ["SessionConfig", "StreamingSession", "measure_max_fps"]
@@ -416,18 +426,32 @@ class StreamingSession:
             if not self._playing[user]:
                 if buf.buffered_frames >= config.startup_frames:
                     self._playing[user] = True
+                    if _trace._RECORDER is not None:
+                        PLAYBACK_STATE.emit(
+                            t=self.env.now, user=user, state="playing"
+                        )
                 continue
             if buf.next_playback_index >= config.num_frames:
                 break  # finished the content
             frame = buf.play_next()
             if frame is None:
                 stats.stall_time_s += dt
+                STALL_SECONDS.inc(dt)
                 if not self._stalled[user]:
                     stats.stall_count += 1
                     self._stalled[user] = True
+                    if _trace._RECORDER is not None:
+                        PLAYBACK_STATE.emit(
+                            t=self.env.now, user=user, state="stalled"
+                        )
             else:
+                if self._stalled[user] and _trace._RECORDER is not None:
+                    PLAYBACK_STATE.emit(
+                        t=self.env.now, user=user, state="resumed"
+                    )
                 self._stalled[user] = False
                 stats.frames_played += 1
+                FRAMES_PLAYED.inc()
                 played_this_second += 1
                 deadline = frame.frame_index / config.target_fps + 0.5
                 if frame.arrived_at_s <= deadline:
@@ -437,6 +461,10 @@ class StreamingSession:
                 )
             if self.env.now >= second_mark:
                 stats.fps_samples.append(played_this_second)
+                if _trace._RECORDER is not None:
+                    QOE_SAMPLE.emit(
+                        t=self.env.now, user=user, fps=played_this_second
+                    )
                 played_this_second = 0
                 second_mark += 1.0
 
@@ -489,8 +517,17 @@ class StreamingSession:
                     retx_overhead=retx_overhead,
                 )
                 decision = config.adaptation.decide(inputs)
+                if _trace._RECORDER is not None:
+                    ADAPTATION_DECISION.emit(
+                        t=self.env.now,
+                        user=u,
+                        quality=decision.quality,
+                        prefetch_extra=decision.prefetch_extra_frames,
+                        throughput_mbps=throughput,
+                    )
                 if decision.quality != self.quality[u]:
                     self.stats[u].quality_switches += 1
+                    QUALITY_SWITCHES.inc()
                     self.quality[u] = decision.quality
                 self.prefetch_extra[u] = decision.prefetch_extra_frames
 

@@ -102,6 +102,7 @@ def run_prediction_ablation(
     horizon_s: float = 0.5,
     seed: int = DEFAULT_SEED,
 ) -> PredictionAblation:
+    """Abl-A: viewport-prediction accuracy per predictor (pos/ori/IoU)."""
     merged = run_experiment(
         "ablation_prediction",
         {

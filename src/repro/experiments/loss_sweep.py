@@ -26,8 +26,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.qoe import QOE_SAMPLE
 from ..mac.scheduler import UserDemand, plan_frame
 from ..net import TransportConfig, TransportSimulator, packetize_cells
+from ..obs import trace as _trace
 from ..pointcloud import QUALITIES
 from ..runner import Experiment, RunSpec, register, run_experiment
 from .common import DEFAULT_SEED, format_table
@@ -142,7 +144,10 @@ def run_one(spec: RunSpec) -> dict:
             airtime += outcome.airtime_s
             delivered_bytes += outcome.app_bytes_delivered
             delivered_frames += sum(outcome.delivered.values())
-            fps_sum += outcome.effective_fps(cap_fps=target_fps)
+            frame_fps = outcome.effective_fps(cap_fps=target_fps)
+            fps_sum += frame_fps
+            if _trace._RECORDER is not None:
+                QOE_SAMPLE.emit(user=-1, fps=frame_fps)
         points.append(
             {
                 "loss": p,

@@ -58,6 +58,8 @@ class Table1Row:
 
 @dataclass(frozen=True)
 class Table1Result:
+    """All Table 1 rows plus lookup/formatting helpers."""
+
     rows: list[Table1Row]
 
     def row(self, network: str, num_users: int) -> Table1Row:

@@ -23,8 +23,29 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..mmwave.blockage import BeamSearchLatency, BlockageTimeline
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 
 __all__ = ["RecoveryPolicy", "LinkRateTimeline", "apply_recovery"]
+
+_C_BLOCKAGES = _metrics.counter(
+    "mac.blockage_events", unit="events", layer="mac",
+    help="human-blockage intervals processed by the recovery policy",
+)
+_C_PROACTIVE = _metrics.counter(
+    "mac.proactive_beam_switches", unit="events", layer="mac",
+    help="blockages dodged by a predicted (proactive) beam switch",
+)
+_C_REACTIVE = _metrics.counter(
+    "mac.reactive_outages", unit="events", layer="mac",
+    help="blockages handled reactively: detection delay + beam re-search",
+)
+_EV_RECOVERY = _trace.event_type(
+    "mac.beam_recovery", layer="mac",
+    help="one blockage interval was resolved (beam decision: proactive "
+         "switch vs. reactive re-search)",
+    fields=("user", "predicted", "duration_s", "outage_s"),
+)
 
 
 @dataclass(frozen=True)
@@ -93,6 +114,7 @@ def apply_recovery(
 
     for user in range(n_users):
         for start, end in timeline.events(user):
+            _C_BLOCKAGES.inc()
             predicted = policy.proactive and (
                 rng.random() < policy.prediction_recall
             )
@@ -100,6 +122,8 @@ def apply_recovery(
                 # Beam already on the reflection path when the blocker
                 # arrives; hold it for the whole blocked interval.
                 mult[user, start:end] = policy.reflection_rate_fraction
+                _C_PROACTIVE.inc()
+                outage_s = 0.0
             else:
                 # Dead air until the loss is detected and the re-search
                 # completes, then the reflection beam carries the rest.
@@ -110,4 +134,14 @@ def apply_recovery(
                 cut = min(end, start + max(1, outage_samples))
                 mult[user, start:cut] = 0.0
                 mult[user, cut:end] = policy.reflection_rate_fraction
+                _C_REACTIVE.inc()
+                outage_s = (cut - start) * dt
+            if _trace._RECORDER is not None:
+                _EV_RECOVERY.emit(
+                    t=start * dt,
+                    user=user,
+                    predicted=predicted,
+                    duration_s=(end - start) * dt,
+                    outage_s=outage_s,
+                )
     return LinkRateTimeline(multiplier=mult, rate_hz=timeline.rate_hz)

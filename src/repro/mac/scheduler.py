@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+
 __all__ = [
     "UserDemand",
     "overlap_bytes",
@@ -24,6 +27,22 @@ __all__ = [
     "FramePlan",
     "plan_frame",
 ]
+
+_C_PLANS = _metrics.counter(
+    "mac.frame_plans_built", unit="plans", layer="mac",
+    help="FramePlans constructed via plan_frame (includes candidate plans "
+         "evaluated during grouping search)",
+)
+_C_GROUPS = _metrics.counter(
+    "mac.multicast_groups_planned", unit="groups", layer="mac",
+    help="multicast groups admitted into constructed frame plans",
+)
+_EV_PLAN = _trace.event_type(
+    "mac.frame_plan", layer="mac",
+    help="a frame delivery plan was built (grant decision: who shares a "
+         "multicast beam, who goes solo)",
+    fields=("users", "groups", "solo", "total_time_s"),
+)
 
 
 @dataclass(frozen=True)
@@ -166,8 +185,18 @@ def plan_frame(
     beam_switch_overhead_s: float = 0.0,
 ) -> FramePlan:
     """Build a :class:`FramePlan` from a demand list."""
-    return FramePlan(
+    plan = FramePlan(
         demands={d.user_id: d for d in demands},
         groups=groups or [],
         beam_switch_overhead_s=beam_switch_overhead_s,
     )
+    _C_PLANS.inc()
+    _C_GROUPS.inc(len(plan.groups))
+    if _trace._RECORDER is not None:
+        _EV_PLAN.emit(
+            users=len(plan.demands),
+            groups=len(plan.groups),
+            solo=len(plan.solo_users),
+            total_time_s=plan.total_time_s(),
+        )
+    return plan

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import trace as _trace
 from ..sim import Environment, Event, any_of
 
 __all__ = [
@@ -34,6 +35,18 @@ __all__ = [
 ]
 
 ROUND_DONE = "arq-round-done"
+
+_EV_ARQ_ROUND = _trace.event_type(
+    "net.arq_round", layer="net",
+    help="one block-ACK round completed (union retransmission + feedback)",
+    fields=("round", "packets", "pending_receivers"),
+)
+_EV_ARQ_DEADLINE = _trace.event_type(
+    "net.arq_deadline", layer="net",
+    help="the frame deadline cut an ARQ round short; the block stays "
+         "unacknowledged",
+    fields=("round", "pending_receivers"),
+)
 
 
 @dataclass(frozen=True)
@@ -125,6 +138,12 @@ def block_arq_process(
         if winner != ROUND_DONE:
             # Deadline hit mid-round: the block was never acknowledged, so
             # the round delivers nothing and the frame is late.
+            if _trace._RECORDER is not None:
+                _EV_ARQ_DEADLINE.emit(
+                    t=env.now,
+                    round=rounds + 1,
+                    pending_receivers=int(needs.any(axis=1).sum()),
+                )
             break
         rounds += 1
         packets_sent += n_union
@@ -139,6 +158,13 @@ def block_arq_process(
                 continue
             failures = rng.random(num_packets) < per
             needs[r] &= failures
+        if _trace._RECORDER is not None:
+            _EV_ARQ_ROUND.emit(
+                t=env.now,
+                round=rounds,
+                packets=n_union,
+                pending_receivers=int(needs.any(axis=1).sum()),
+            )
     residual = tuple(int(needs[r].sum()) for r in range(num_receivers))
     return ArqOutcome(
         delivered=tuple(n == 0 for n in residual),

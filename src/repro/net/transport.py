@@ -27,6 +27,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..mac.scheduler import FramePlan
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..sim import Environment, Event, any_of
 from .arq import block_arq_process
 from .config import TransportConfig
@@ -37,6 +39,90 @@ __all__ = ["FrameOutcome", "TransportSimulator", "DEADLINE", "TX_DONE"]
 
 DEADLINE = "frame-deadline"
 TX_DONE = "tx-done"
+
+# -- observability (no-ops unless recording/metrics are enabled) -------------
+
+_C_PACKETS = _metrics.counter(
+    "net.packets_sent", unit="packets", layer="net",
+    help="data PDUs put on the air, including retransmissions and FEC repair",
+)
+_C_WIRE_BYTES = _metrics.counter(
+    "net.wire_bytes_sent", unit="bytes", layer="net",
+    help="wire bytes transmitted (payload + per-PDU header overhead)",
+)
+_C_APP_BYTES = _metrics.counter(
+    "net.app_bytes_delivered", unit="bytes", layer="net",
+    help="application bytes of frames that completely arrived in time",
+)
+_C_FRAMES_OK = _metrics.counter(
+    "net.user_frames_delivered", unit="frames", layer="net",
+    help="per-user frame deliveries that completed before the deadline",
+)
+_C_FRAMES_LOST = _metrics.counter(
+    "net.user_frames_lost", unit="frames", layer="net",
+    help="per-user frame deliveries that missed the deadline (residual loss)",
+)
+_C_ARQ_ROUNDS = _metrics.counter(
+    "net.arq_rounds", unit="rounds", layer="net",
+    help="completed block-ACK retransmission rounds across all units",
+)
+_C_FEC_REPAIR = _metrics.counter(
+    "net.fec_repair_packets", unit="packets", layer="net",
+    help="repair PDUs sent beyond the k source PDUs of FEC-protected blocks",
+)
+_H_AIRTIME = _metrics.histogram(
+    "net.frame_airtime_s",
+    edges=(0.005, 0.01, 0.02, 1.0 / 30.0, 0.05, 0.1, 0.2, 0.5),
+    unit="s", layer="net",
+    help="airtime burned per delivered frame plan (feedback + repair included)",
+)
+_H_RETX = _metrics.histogram(
+    "net.retx_overhead",
+    edges=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0),
+    unit="fraction", layer="net",
+    help="extra airtime vs. the fluid model, as a fraction of the ideal time",
+)
+
+_EV_UNIT_TX = _trace.event_type(
+    "net.unit_tx", layer="net",
+    help="one transmission unit (multicast shared cells, residuals, or a solo "
+         "frame) finished its delivery attempt",
+    fields=("scheme", "packets", "receivers", "delivered"),
+)
+_EV_FEC_TX = _trace.event_type(
+    "net.fec_tx", layer="net",
+    help="one FEC-protected block was transmitted (possibly deadline-truncated)",
+    fields=("k", "n_planned", "n_sent", "truncated"),
+)
+_EV_FRAME_OUTCOME = _trace.event_type(
+    "net.frame_outcome", layer="net",
+    help="a full frame plan finished: airtime, residual loss, recovery cost",
+    fields=("airtime_s", "users", "lost", "packets", "arq_rounds",
+            "retx_overhead"),
+)
+
+
+def _record_outcome(outcome: "FrameOutcome") -> None:
+    """Fold one frame outcome into the metrics registry and the trace."""
+    if _metrics.REGISTRY.enabled:
+        ok = sum(outcome.delivered.values())
+        _C_PACKETS.inc(outcome.packets_sent)
+        _C_WIRE_BYTES.inc(outcome.wire_bytes_sent)
+        _C_APP_BYTES.inc(outcome.app_bytes_delivered)
+        _C_FRAMES_OK.inc(ok)
+        _C_FRAMES_LOST.inc(len(outcome.delivered) - ok)
+        _C_ARQ_ROUNDS.inc(outcome.arq_rounds)
+        _H_AIRTIME.observe(outcome.airtime_s)
+        _H_RETX.observe(outcome.retx_overhead)
+    if _trace._RECORDER is not None:
+        _EV_FRAME_OUTCOME.emit(
+            airtime_s=outcome.airtime_s,
+            users=len(outcome.delivered),
+            lost=sum(1 for ok in outcome.delivered.values() if not ok),
+            packets=outcome.packets_sent,
+            arq_rounds=outcome.arq_rounds,
+            retx_overhead=outcome.retx_overhead,
+        )
 
 
 @dataclass
@@ -129,7 +215,7 @@ class TransportSimulator:
                 yield env.timeout(t)
             delivered = {u: ok for u in demands}
             app = sum(d.total_bytes for d in demands.values()) if ok else 0.0
-            return FrameOutcome(
+            outcome = FrameOutcome(
                 airtime_s=t if ok else 0.0,
                 delivered=delivered,
                 app_bytes_delivered=app,
@@ -139,6 +225,8 @@ class TransportSimulator:
                 residual_loss=0.0 if ok else 1.0,
                 retx_overhead=0.0,
             )
+            _record_outcome(outcome)
+            return outcome
 
         start = env.now
         deadline_event = env.timeout(
@@ -219,7 +307,7 @@ class TransportSimulator:
             retx_overhead = max(0.0, airtime / ideal_t - 1.0)
         else:
             retx_overhead = 0.0
-        return FrameOutcome(
+        outcome = FrameOutcome(
             airtime_s=airtime,
             delivered=delivered,
             app_bytes_delivered=app_delivered,
@@ -229,6 +317,8 @@ class TransportSimulator:
             residual_loss=(losses / num_users) if num_users else 0.0,
             retx_overhead=retx_overhead,
         )
+        _record_outcome(outcome)
+        return outcome
 
     # -- transmission units ---------------------------------------------
 
@@ -269,6 +359,14 @@ class TransportSimulator:
         stats.packets += outcome.packets_sent
         stats.wire_bytes += outcome.packets_sent * _mean_packet_bytes(unit)
         stats.arq_rounds += outcome.rounds
+        if _trace._RECORDER is not None:
+            _EV_UNIT_TX.emit(
+                t=env.now,
+                scheme="arq",
+                packets=outcome.packets_sent,
+                receivers=len(member_pers),
+                delivered=sum(outcome.delivered),
+            )
         return outcome.delivered
 
     def _fec_unit(
@@ -301,7 +399,24 @@ class TransportSimulator:
             n_sent = int(n * (env.now - unit_start) / airtime) if airtime > 0 else 0
         stats.packets += n_sent
         stats.wire_bytes += n_sent * _mean_packet_bytes(unit)
-        return sample_decodes(self.rng, k, n_sent, member_pers, self.config.fec)
+        _C_FEC_REPAIR.inc(max(0, n_sent - k))
+        decoded = sample_decodes(self.rng, k, n_sent, member_pers, self.config.fec)
+        if _trace._RECORDER is not None:
+            _EV_FEC_TX.emit(
+                t=env.now,
+                k=k,
+                n_planned=n,
+                n_sent=n_sent,
+                truncated=winner != TX_DONE,
+            )
+            _EV_UNIT_TX.emit(
+                t=env.now,
+                scheme="fec",
+                packets=n_sent,
+                receivers=len(member_pers),
+                delivered=sum(decoded),
+            )
+        return decoded
 
 
 @dataclass

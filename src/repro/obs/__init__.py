@@ -1,0 +1,56 @@
+"""repro.obs — structured observability for every layer of the stack.
+
+Three pieces, all off by default and all guaranteed result-neutral (they
+never touch an RNG, the sim clock, or experiment state):
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms that components create at module scope;
+  snapshots are deterministic (sorted keys, no wall clock) and merge
+  across parallel work units in spec order.
+* :mod:`repro.obs.trace` — declared trace event types plus a recorder
+  producing a sim-time-ordered JSONL timeline; hooked into the sim engine,
+  the transport, the MAC scheduler, and the streaming session.
+* :mod:`repro.obs.profile` — wall-clock phase profiling for the runner's
+  ``--timings`` output.
+
+CLI surface: ``repro trace <experiment>`` records a timeline,
+``repro run --metrics-out FILE`` dumps merged metrics.  Every metric and
+event is documented in ``docs/METRICS.md``, generated (and drift-checked
+in CI) by ``tools/gen_metrics_doc.py``.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    merge_snapshots,
+    write_snapshot,
+)
+from .profile import PhaseProfiler
+from .trace import (
+    EVENT_TYPES,
+    TraceEvent,
+    TraceEventType,
+    TraceRecorder,
+    event_type,
+    recording,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_TYPES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "REGISTRY",
+    "TraceEvent",
+    "TraceEventType",
+    "TraceRecorder",
+    "event_type",
+    "merge_snapshots",
+    "recording",
+    "write_snapshot",
+]

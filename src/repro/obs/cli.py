@@ -1,0 +1,129 @@
+"""``repro trace <experiment>`` — record a structured timeline of one run.
+
+    python -m repro trace loss_sweep
+    python -m repro trace table1 --scale small --out table1.jsonl
+    python -m repro trace loss_sweep --seed 11 --quiet
+
+Runs every work unit of the selected experiment **serially** (a timeline
+interleaved across worker processes would be meaningless), with the trace
+recorder and the metrics registry enabled, then writes the JSON-lines
+timeline and prints the experiment's normal formatted result plus a
+per-layer event summary.  Tracing is result-neutral: the printed result is
+bit-identical to an untraced ``repro run`` of the same specs (asserted by
+``tests/obs/test_equivalence.py``).
+
+Each JSONL record carries the sim time ``t``, a global ``seq`` (total
+order; sim time restarts at 0 for every private transport clock), the
+``layer`` (sim/net/mac/core), the ``event`` name, a ``unit`` context field
+naming the work unit, and the event's own fields.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import metrics
+from .trace import recording
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro trace`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Run one experiment serially with the structured trace recorder "
+            "enabled and write a sim-time-ordered JSONL timeline."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        metavar="EXPERIMENT",
+        help="a registered experiment name (see `python -m repro run all`)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["default", "small"],
+        default="default",
+        help="parameter scale: full paper configs or quick small configs",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="trace output path (default: <experiment>-trace.jsonl)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="also write the run's metrics snapshot as JSON",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the formatted experiment result (still prints the summary)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro trace`` (returns a process exit status)."""
+    from ..runner.registry import get_experiment, resolve_params
+
+    args = build_parser().parse_args(argv)
+    try:
+        experiment = get_experiment(args.experiment)
+    except KeyError as err:
+        raise SystemExit(str(err)) from None
+    overrides = {"seed": args.seed} if args.seed is not None else None
+    params = resolve_params(experiment, overrides, scale=args.scale)
+    specs = list(experiment.decompose(params))
+    out_path = Path(args.out or f"{experiment.name}-trace.jsonl")
+
+    was_enabled = metrics.REGISTRY.enabled
+    metrics.reset()
+    metrics.enable()
+    try:
+        with recording() as recorder:
+            runs = []
+            for spec in specs:
+                recorder.clear_context()
+                recorder.set_context(unit=spec.key())
+                runs.append((spec, experiment.run_one(spec)))
+            recorder.clear_context()
+        snap = metrics.snapshot()
+    finally:
+        if not was_enabled:
+            metrics.disable()
+
+    merged = experiment.merge(params, runs)
+    if not args.quiet:
+        title = experiment.title or experiment.name
+        print(f"\n===== {title} " + "=" * max(0, 60 - len(title)))
+        print(experiment.format_result(merged))
+        print()
+
+    recorder.write_jsonl(out_path)
+    per_layer = ", ".join(
+        f"{layer} {count}" for layer, count in recorder.layer_counts().items()
+    )
+    print(
+        f"trace: {len(recorder)} event(s) from {len(specs)} unit(s) "
+        f"written to {out_path}"
+    )
+    print(f"layers: {per_layer or '(none)'}")
+    if args.metrics_out:
+        metrics.write_snapshot(args.metrics_out, snap)
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

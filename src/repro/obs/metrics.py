@@ -1,0 +1,366 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Components create metrics **at module scope**::
+
+    from repro.obs import metrics as _m
+
+    _PACKETS = _m.counter(
+        "net.transport.packets_sent", unit="packets", layer="net",
+        help="data PDUs put on the air, including retransmissions and repair",
+    )
+    ...
+    _PACKETS.inc(outcome.packets_sent)
+
+Recording is **off by default** and every mutator returns immediately when
+disabled (one attribute load and a branch), so instrumented hot paths cost
+nothing measurable in normal runs.  Nothing here touches an RNG, the sim
+clock, or the wall clock, so enabling metrics can never change experiment
+results.
+
+Snapshots are deterministic: keys are sorted, values contain no wall-clock
+or host-specific data, and :func:`merge_snapshots` folds per-work-unit
+snapshots together in input order (counters and histogram buckets add;
+gauges keep the last written value) — which is how ``repro run
+--metrics-out`` stays independent of worker count.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "snapshot",
+    "describe",
+    "merge_snapshots",
+    "write_snapshot",
+]
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+class Metric:
+    """Base identity shared by every metric kind (name, unit, layer, help)."""
+
+    kind = "metric"
+
+    def __init__(
+        self, registry: "MetricsRegistry", name: str, unit: str, layer: str, help: str
+    ) -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self._registry = registry
+        self.name = name
+        self.unit = unit
+        self.layer = layer
+        self.help = help
+
+    def describe(self) -> dict[str, str]:
+        """Static metadata (no values) — the METRICS.md generator input."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "unit": self.unit,
+            "layer": self.layer,
+            "help": self.help,
+        }
+
+    def reset(self) -> None:
+        """Zero the recorded value(s)."""
+        raise NotImplementedError
+
+    def value_snapshot(self) -> dict[str, Any]:
+        """The recorded value(s) in canonical JSON shape."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing total (int or float increments)."""
+
+    kind = "counter"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative); no-op while disabled."""
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative: {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def value_snapshot(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+
+class Gauge(Metric):
+    """A point-in-time level (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the current level; no-op while disabled."""
+        if not self._registry.enabled:
+            return
+        self._value = value
+
+    @property
+    def value(self) -> float | None:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+    def value_snapshot(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+
+class Histogram(Metric):
+    """A distribution over fixed, immutable bucket edges.
+
+    ``edges`` are the strictly increasing upper bounds of the finite
+    buckets; one overflow bucket catches everything above the last edge.
+    An observation lands in the first bucket whose edge is >= the value.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        unit: str,
+        layer: str,
+        help: str,
+        edges: Sequence[float],
+    ) -> None:
+        super().__init__(registry, name, unit, layer, help)
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"histogram {name!r} edges must strictly increase")
+        self.edges = edges
+        self._counts = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample; no-op while disabled."""
+        if not self._registry.enabled:
+            return
+        self._counts[bisect.bisect_left(self.edges, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Per-bucket counts, the overflow bucket last."""
+        return tuple(self._counts)
+
+    def describe(self) -> dict[str, Any]:
+        meta = super().describe()
+        meta["edges"] = list(self.edges)
+        return meta
+
+    def reset(self) -> None:
+        self._counts = [0] * (len(self.edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def value_snapshot(self) -> dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+
+class MetricsRegistry:
+    """Holds every registered metric and the global enabled flag.
+
+    Registration is idempotent: asking for an existing name with a matching
+    kind returns the live instance (module reloads under pytest re-run
+    module-scope registrations), while a kind clash is a programming error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self.enabled = False
+
+    # -- registration ----------------------------------------------------
+
+    def _register(self, cls: type, name: str, **kwargs) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(self, name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, unit: str = "", layer: str = "", help: str = ""
+    ) -> Counter:
+        """Create (or return the existing) counter ``name``."""
+        return self._register(Counter, name, unit=unit, layer=layer, help=help)
+
+    def gauge(
+        self, name: str, unit: str = "", layer: str = "", help: str = ""
+    ) -> Gauge:
+        """Create (or return the existing) gauge ``name``."""
+        return self._register(Gauge, name, unit=unit, layer=layer, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        edges: Sequence[float],
+        unit: str = "",
+        layer: str = "",
+        help: str = "",
+    ) -> Histogram:
+        """Create (or return the existing) fixed-bucket histogram ``name``."""
+        return self._register(
+            Histogram, name, unit=unit, layer=layer, help=help, edges=edges
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording on every registered metric."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (mutators become no-ops again)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every metric's recorded values (registrations survive)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    # -- introspection ---------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        """Look one metric up by name (KeyError if unknown)."""
+        return self._metrics[name]
+
+    def describe(self) -> dict[str, dict[str, Any]]:
+        """Static metadata for every metric, keyed by sorted name."""
+        return {name: self._metrics[name].describe() for name in self.names()}
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Deterministic value dump: sorted names, metadata + values,
+        no wall-clock or host-specific content."""
+        out: dict[str, dict[str, Any]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            entry = {"kind": metric.kind, "unit": metric.unit, "layer": metric.layer}
+            entry.update(metric.value_snapshot())
+            out[name] = entry
+        return out
+
+
+REGISTRY = MetricsRegistry()
+
+# Module-level conveniences bound to the global registry — what the
+# instrumented modules import.
+counter = REGISTRY.counter
+gauge = REGISTRY.gauge
+histogram = REGISTRY.histogram
+enable = REGISTRY.enable
+disable = REGISTRY.disable
+reset = REGISTRY.reset
+snapshot = REGISTRY.snapshot
+describe = REGISTRY.describe
+
+
+def enabled() -> bool:
+    """Whether the global registry is currently recording."""
+    return REGISTRY.enabled
+
+
+def merge_snapshots(
+    snapshots: Iterable[Mapping[str, Mapping[str, Any]]],
+) -> dict[str, dict[str, Any]]:
+    """Fold per-unit snapshots into one, deterministically.
+
+    Counters and histogram buckets add; gauges keep the **last** non-null
+    value in input order — so merging per-\\ :class:`RunSpec` snapshots in
+    spec order gives the same totals regardless of worker count or
+    completion order.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for snap in snapshots:
+        for name, entry in snap.items():
+            if name not in merged:
+                merged[name] = json.loads(json.dumps(entry))  # deep copy
+                continue
+            acc = merged[name]
+            if acc["kind"] != entry["kind"]:
+                raise ValueError(f"metric {name!r} changes kind across snapshots")
+            if acc["kind"] == "counter":
+                acc["value"] += entry["value"]
+            elif acc["kind"] == "gauge":
+                if entry["value"] is not None:
+                    acc["value"] = entry["value"]
+            else:  # histogram
+                if acc["edges"] != entry["edges"]:
+                    raise ValueError(f"histogram {name!r} edges differ across snapshots")
+                acc["counts"] = [a + b for a, b in zip(acc["counts"], entry["counts"])]
+                acc["sum"] += entry["sum"]
+                acc["count"] += entry["count"]
+    return {name: merged[name] for name in sorted(merged)}
+
+
+def write_snapshot(path: Path | str, snap: Mapping[str, Any]) -> Path:
+    """Write a snapshot as canonical, diff-friendly JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(snap, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+    )
+    return path

@@ -1,0 +1,67 @@
+"""Wall-clock phase profiling for the experiment runner.
+
+The runner's ``--timings`` output reports per-unit compute time; this
+module adds *where the rest of the wall time goes*: planning (decompose +
+parameter resolution), cache lookups, execution, and merge/format.  A
+:class:`PhaseProfiler` accumulates real elapsed time per named phase via
+``time.perf_counter`` — monotonic elapsed measurement, which the repo's
+D1xx determinism lint permits (wall-clock *timestamps* stay banned, and no
+profiled duration ever feeds simulation state or results).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulates wall time and entry counts per named phase."""
+
+    def __init__(self) -> None:
+        self._wall_s: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    def add(self, name: str, wall_s: float) -> None:
+        """Credit ``wall_s`` seconds to phase ``name``."""
+        if wall_s < 0:
+            raise ValueError("phase wall time must be non-negative")
+        self._wall_s[name] = self._wall_s.get(name, 0.0) + wall_s
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block and credit it to phase ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def wall_s(self, name: str) -> float:
+        """Accumulated seconds for one phase (0.0 if never entered)."""
+        return self._wall_s.get(name, 0.0)
+
+    def names(self) -> list[str]:
+        """Phases seen so far, sorted by name."""
+        return sorted(self._wall_s)
+
+    def to_jsonable(self) -> dict[str, dict[str, Any]]:
+        """``{phase: {"wall_s": ..., "count": ...}}`` with sorted keys."""
+        return {
+            name: {
+                "wall_s": round(self._wall_s[name], 6),
+                "count": self._counts[name],
+            }
+            for name in self.names()
+        }
+
+    def format(self) -> str:
+        """One human line: ``phases: plan 0.01s · execute 3.20s · ...``."""
+        if not self._wall_s:
+            return "phases: (none)"
+        parts = [f"{name} {self._wall_s[name]:.2f}s" for name in self.names()]
+        return "phases: " + " · ".join(parts)

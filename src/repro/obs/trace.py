@@ -1,0 +1,227 @@
+"""Structured trace events: a sim-time-ordered timeline of what happened.
+
+Instrumented modules declare their event types **at module scope**, which
+both registers them in the catalog (so ``docs/METRICS.md`` can enumerate
+them) and gives the call site a near-zero disabled fast path::
+
+    from repro.obs import trace as _t
+
+    _EV_ROUND = _t.event_type(
+        "net.arq_round", layer="net",
+        help="one completed block-ACK round",
+        fields=("round", "packets", "pending"),
+    )
+    ...
+    _EV_ROUND.emit(t=env.now, round=r, packets=n, pending=left)
+
+``emit`` checks the module-global recorder and returns immediately when no
+recording is active; truly hot paths (the sim engine inner loop) guard the
+call itself with :func:`active` so not even the kwargs dict is built.
+
+Recording is explicit: install a :class:`TraceRecorder` (directly or via
+the :func:`recording` context manager), run the workload, then write the
+timeline with :meth:`TraceRecorder.write_jsonl`.  Events carry the sim
+time they were emitted at; within one :class:`~repro.sim.Environment` run
+the emission order *is* sim-time order (the engine fires events in time
+order), and the monotonically increasing ``seq`` field makes the total
+order explicit across equal timestamps and across successive private
+clocks (e.g. one transport simulation per frame).
+
+Nothing here reads a clock or an RNG: tracing on/off cannot change any
+experiment result (asserted by ``tests/obs/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "TraceEvent",
+    "TraceEventType",
+    "TraceRecorder",
+    "EVENT_TYPES",
+    "event_type",
+    "install",
+    "uninstall",
+    "active",
+    "recording",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence: where on the timeline, what, and details."""
+
+    t: float  # sim time the event was emitted at
+    seq: int  # global emission order (total tie-break)
+    layer: str  # sim | net | mac | core | runner
+    event: str  # registered event-type name
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Canonical JSON-line shape (stable key order)."""
+        return {
+            "t": self.t,
+            "seq": self.seq,
+            "layer": self.layer,
+            "event": self.event,
+            **{k: self.fields[k] for k in sorted(self.fields)},
+        }
+
+
+class TraceEventType:
+    """A declared, documented kind of trace event plus its emit fast path."""
+
+    __slots__ = ("name", "layer", "help", "fields")
+
+    def __init__(
+        self, name: str, layer: str, help: str, fields: tuple[str, ...]
+    ) -> None:
+        if not name:
+            raise ValueError("trace event name must be non-empty")
+        self.name = name
+        self.layer = layer
+        self.help = help
+        self.fields = fields
+
+    def emit(self, t: float | None = None, **fields: Any) -> None:
+        """Record one occurrence; no-op when no recorder is installed.
+
+        ``t`` defaults to the recorder's ambient sim time — the time of the
+        engine event currently firing — so code without an ``env`` in reach
+        (schedulers, groupers, adaptation policies) still lands at the
+        right point on the timeline.
+        """
+        recorder = _RECORDER
+        if recorder is None:
+            return
+        recorder.record(self, t, fields)
+
+    def describe(self) -> dict[str, Any]:
+        """Static metadata — the METRICS.md generator input."""
+        return {
+            "name": self.name,
+            "layer": self.layer,
+            "help": self.help,
+            "fields": list(self.fields),
+        }
+
+
+EVENT_TYPES: dict[str, TraceEventType] = {}
+
+
+def event_type(
+    name: str, layer: str, help: str = "", fields: tuple[str, ...] = ()
+) -> TraceEventType:
+    """Declare (or re-fetch) an event type; idempotent under module reloads."""
+    existing = EVENT_TYPES.get(name)
+    if existing is not None:
+        return existing
+    declared = TraceEventType(name, layer, help, tuple(fields))
+    EVENT_TYPES[name] = declared
+    return declared
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records and serializes them.
+
+    ``now`` is the ambient sim time, maintained by the engine while firing
+    events.  ``context`` fields (e.g. the :class:`~repro.runner.RunSpec`
+    key the trace CLI sets per work unit) are merged into every event.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.now: float = 0.0
+        self.context: dict[str, Any] = {}
+        self._seq = 0
+
+    def record(
+        self,
+        kind: TraceEventType,
+        t: float | None,
+        fields: Mapping[str, Any],
+    ) -> None:
+        """Append one event (called through :meth:`TraceEventType.emit`)."""
+        merged = {**self.context, **fields} if self.context else dict(fields)
+        self.events.append(
+            TraceEvent(
+                t=self.now if t is None else float(t),
+                seq=self._seq,
+                layer=kind.layer,
+                event=kind.name,
+                fields=merged,
+            )
+        )
+        self._seq += 1
+
+    def set_context(self, **fields: Any) -> None:
+        """Attach ``fields`` to every subsequently recorded event."""
+        self.context.update(fields)
+
+    def clear_context(self) -> None:
+        """Drop all ambient context fields."""
+        self.context.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def layer_counts(self) -> dict[str, int]:
+        """Events per layer, keyed by sorted layer name (for summaries)."""
+        counts: dict[str, int] = {}
+        for ev in self.events:
+            counts[ev.layer] = counts.get(ev.layer, 0) + 1
+        return {layer: counts[layer] for layer in sorted(counts)}
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """One canonical JSON document per event, in emission order."""
+        for ev in self.events:
+            yield json.dumps(ev.to_jsonable(), sort_keys=False, separators=(",", ":"))
+
+    def write_jsonl(self, path: Path | str) -> Path:
+        """Write the timeline as JSON lines; returns the path."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            "\n".join(self.jsonl_lines()) + ("\n" if self.events else ""),
+            encoding="utf-8",
+        )
+        return path
+
+
+_RECORDER: TraceRecorder | None = None
+
+
+def install(recorder: TraceRecorder) -> None:
+    """Make ``recorder`` the active sink for every ``emit`` in the process."""
+    global _RECORDER
+    if _RECORDER is not None:
+        raise RuntimeError("a trace recorder is already installed")
+    _RECORDER = recorder
+
+
+def uninstall() -> None:
+    """Deactivate tracing (idempotent)."""
+    global _RECORDER
+    _RECORDER = None
+
+
+def active() -> TraceRecorder | None:
+    """The currently installed recorder, or None — the hot-path guard."""
+    return _RECORDER
+
+
+@contextlib.contextmanager
+def recording() -> Iterator[TraceRecorder]:
+    """Context manager: install a fresh recorder, yield it, uninstall."""
+    recorder = TraceRecorder()
+    install(recorder)
+    try:
+        yield recorder
+    finally:
+        uninstall()

@@ -83,6 +83,15 @@ def _parser(command: str) -> argparse.ArgumentParser:
         help="write the timing summary as JSON (for CI artifacts)",
     )
     parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect the observability metrics of every work unit and write "
+            "the merged snapshot as JSON (skips cache reads)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-unit progress lines"
     )
     return parser
@@ -102,46 +111,73 @@ def _select_names(command: str, requested: list[str] | None) -> list[str]:
 
 
 def main(argv: list[str]) -> int:
+    """Entry point for ``repro run`` / ``repro figures`` (exit status)."""
     command = argv[0]
     args = _parser(command).parse_args(argv[1:])
     names = _select_names(command, getattr(args, "experiments", None))
 
-    overrides = {"seed": args.seed} if args.seed is not None else None
-    plans = []
-    for name in names:
-        experiment = get_experiment(name)
-        params = resolve_params(experiment, overrides, scale=args.scale)
-        plans.append((experiment, params, list(experiment.decompose(params))))
-
-    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
-    if args.clear_cache and cache is not None:
-        cache.clear()
-
     summary = TimingSummary(workers=args.parallel)
+    overrides = {"seed": args.seed} if args.seed is not None else None
+    with summary.profiler.phase("plan"):
+        plans = []
+        for name in names:
+            experiment = get_experiment(name)
+            params = resolve_params(experiment, overrides, scale=args.scale)
+            plans.append(
+                (experiment, params, list(experiment.decompose(params)))
+            )
+
+        cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+        if args.clear_cache and cache is not None:
+            cache.clear()
+
     all_specs = [spec for _, _, specs in plans for spec in specs]
-    reports = run_specs(
-        all_specs,
-        workers=args.parallel,
-        cache=cache,
-        progress=ProgressPrinter(quiet=args.quiet),
-    )
+    with summary.profiler.phase("execute"):
+        reports = run_specs(
+            all_specs,
+            workers=args.parallel,
+            cache=cache,
+            progress=ProgressPrinter(quiet=args.quiet),
+            collect_metrics=args.metrics_out is not None,
+        )
     summary.add(reports)
+
+    with summary.profiler.phase("merge"):
+        offset = 0
+        rendered = []
+        for experiment, params, specs in plans:
+            chunk = reports[offset : offset + len(specs)]
+            offset += len(specs)
+            merged = experiment.merge(
+                params, [(r.spec, r.result) for r in chunk]
+            )
+            title = experiment.title or experiment.name
+            rendered.append((title, experiment.format_result(merged)))
     summary.finish()
 
-    offset = 0
-    for experiment, params, specs in plans:
-        chunk = reports[offset : offset + len(specs)]
-        offset += len(specs)
-        merged = experiment.merge(params, [(r.spec, r.result) for r in chunk])
-        title = experiment.title or experiment.name
+    for title, body in rendered:
         print(f"\n===== {title} " + "=" * max(0, 60 - len(title)))
-        print(experiment.format_result(merged))
+        print(body)
 
     print()
     print(summary.format())
     if args.timings:
         path = summary.write_json(args.timings)
         print(f"timings written to {path}")
+    if args.metrics_out:
+        from ..obs import metrics as obs_metrics
+
+        # Duplicate specs fan one report out to several positions; count
+        # each executed unit's snapshot once, in first-appearance order.
+        snaps = []
+        counted = set()
+        for r in reports:
+            if r.metrics is not None and r.spec not in counted:
+                counted.add(r.spec)
+                snaps.append(r.metrics)
+        snap = obs_metrics.merge_snapshots(snaps)
+        path = obs_metrics.write_snapshot(args.metrics_out, snap)
+        print(f"metrics written to {path}")
     return 0
 
 

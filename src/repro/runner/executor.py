@@ -14,12 +14,14 @@ floats) and merge identically.
 
 from __future__ import annotations
 
+import functools
 import json
 import multiprocessing
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
+from ..obs import metrics as _metrics
 from .cache import ResultCache
 from .registry import Experiment, get_experiment, resolve_params
 from .spec import RunSpec, canonical_json
@@ -37,6 +39,9 @@ class RunReport:
     result: dict[str, Any]
     elapsed_s: float
     cached: bool = False
+    # Per-unit metrics snapshot (``repro run --metrics-out``); None unless
+    # the unit ran with collect_metrics=True.
+    metrics: dict[str, Any] | None = None
 
 
 def _canonical_result(result: Mapping[str, Any]) -> dict[str, Any]:
@@ -51,17 +56,36 @@ def _canonical_result(result: Mapping[str, Any]) -> dict[str, Any]:
         raise TypeError(f"run_one result is not JSON-serializable: {exc}") from exc
 
 
-def _execute_one(spec: RunSpec) -> tuple[RunSpec, dict[str, Any], float]:
+def _execute_one(
+    spec: RunSpec, collect_metrics: bool = False
+) -> tuple[RunSpec, dict[str, Any], float, dict[str, Any] | None]:
     """Worker entry point: look the experiment up and run the unit.
 
     Importing :mod:`repro.experiments` here (via the registry) makes the
     function self-sufficient under the ``spawn`` start method, where the
-    child begins with an empty registry.
+    child begins with an empty registry.  With ``collect_metrics`` the
+    metrics registry is reset + enabled around the unit and its snapshot
+    is returned alongside the result; this works identically in-process
+    and inside pool workers (each unit owns the registry for its duration),
+    and the snapshots merge deterministically in spec order.
     """
     experiment = get_experiment(spec.experiment)
+    snap: dict[str, Any] | None = None
     t0 = time.perf_counter()
-    result = _canonical_result(experiment.run_one(spec))
-    return spec, result, time.perf_counter() - t0
+    if collect_metrics:
+        was_enabled = _metrics.REGISTRY.enabled
+        _metrics.REGISTRY.reset()
+        _metrics.REGISTRY.enable()
+        try:
+            result = _canonical_result(experiment.run_one(spec))
+            snap = _metrics.REGISTRY.snapshot()
+        finally:
+            if not was_enabled:
+                _metrics.REGISTRY.disable()
+            _metrics.REGISTRY.reset()
+    else:
+        result = _canonical_result(experiment.run_one(spec))
+    return spec, result, time.perf_counter() - t0, snap
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -76,13 +100,16 @@ def run_specs(
     workers: int = 1,
     cache: ResultCache | None = None,
     progress: ProgressFn | None = None,
+    collect_metrics: bool = False,
 ) -> list[RunReport]:
     """Run work units and return reports **in input order**.
 
     Duplicate specs execute once and fan back out to every position.
     ``workers <= 1`` runs in-process; otherwise a process pool computes the
     cache misses while hits are served from disk.  With a cache, fresh
-    results are persisted before returning.
+    results are persisted before returning.  ``collect_metrics`` attaches a
+    per-unit metrics snapshot to every report; cached results carry no
+    metrics, so cache *reads* are skipped (fresh results still persist).
     """
     specs = list(specs)
     order: list[RunSpec] = []
@@ -95,7 +122,11 @@ def run_specs(
     done: dict[RunSpec, RunReport] = {}
     pending: list[RunSpec] = []
     for spec in order:
-        hit = cache.get(spec) if cache is not None else None
+        hit = (
+            cache.get(spec)
+            if cache is not None and not collect_metrics
+            else None
+        )
         if hit is not None:
             done[spec] = RunReport(spec=spec, result=hit, elapsed_s=0.0, cached=True)
         else:
@@ -111,9 +142,20 @@ def run_specs(
     else:
         completed = len(done)
 
-    def _finish(spec: RunSpec, result: dict[str, Any], elapsed: float) -> None:
+    def _finish(
+        spec: RunSpec,
+        result: dict[str, Any],
+        elapsed: float,
+        metrics: dict[str, Any] | None,
+    ) -> None:
         nonlocal completed
-        report = RunReport(spec=spec, result=result, elapsed_s=elapsed, cached=False)
+        report = RunReport(
+            spec=spec,
+            result=result,
+            elapsed_s=elapsed,
+            cached=False,
+            metrics=metrics,
+        )
         if cache is not None:
             cache.put(spec, result, elapsed_s=elapsed)
         done[spec] = report
@@ -121,17 +163,20 @@ def run_specs(
         if progress is not None:
             progress(report, completed, total)
 
+    worker_fn = functools.partial(_execute_one, collect_metrics=collect_metrics)
     if workers <= 1 or len(pending) <= 1:
         for spec in pending:
-            _, result, elapsed = _execute_one(spec)
-            _finish(spec, result, elapsed)
+            _, result, elapsed, metrics = worker_fn(spec)
+            _finish(spec, result, elapsed, metrics)
     else:
         ctx = _pool_context()
         with ctx.Pool(processes=min(workers, len(pending))) as pool:
             # Unordered completion for liveness; results are keyed by spec,
             # so arrival order never reaches the caller.
-            for spec, result, elapsed in pool.imap_unordered(_execute_one, pending):
-                _finish(spec, result, elapsed)
+            for spec, result, elapsed, metrics in pool.imap_unordered(
+                worker_fn, pending
+            ):
+                _finish(spec, result, elapsed, metrics)
 
     return [done[spec] for spec in specs]
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, TextIO
 
+from ..obs.profile import PhaseProfiler
 from .executor import RunReport
 
 __all__ = ["ProgressPrinter", "TimingSummary"]
@@ -46,6 +47,9 @@ class TimingSummary:
     started_at: float = field(default_factory=time.perf_counter)
     reports: list[RunReport] = field(default_factory=list)
     wall_s: float = 0.0
+    # Where the non-compute wall time goes: plan / execute / merge phases,
+    # accumulated by the CLI via ``profiler.phase(...)``.
+    profiler: PhaseProfiler = field(default_factory=PhaseProfiler)
 
     def add(self, reports: list[RunReport]) -> None:
         self.reports.extend(reports)
@@ -78,18 +82,22 @@ class TimingSummary:
             for name, row in self.by_experiment().items()
         ]
         table = format_table(["Experiment", "runs", "cached", "compute(s)"], rows)
-        return (
+        lines = (
             f"{table}\n"
             f"total: {len(self.reports)} run(s), "
             f"compute {self.compute_s:.2f}s, wall {self.wall_s:.2f}s "
             f"({self.workers} worker(s))"
         )
+        if self.profiler.names():
+            lines += f"\n{self.profiler.format()}"
+        return lines
 
     def to_jsonable(self) -> dict[str, Any]:
         return {
             "workers": self.workers,
             "wall_s": round(self.wall_s, 6),
             "compute_s": round(self.compute_s, 6),
+            "phases": self.profiler.to_jsonable(),
             "experiments": self.by_experiment(),
             "runs": [
                 {

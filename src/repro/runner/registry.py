@@ -72,6 +72,7 @@ def _ensure_populated() -> None:
 
 
 def get_experiment(name: str) -> Experiment:
+    """Look one registered experiment up by name (KeyError if unknown)."""
     _ensure_populated()
     try:
         return _REGISTRY[name]
@@ -87,6 +88,7 @@ def experiment_names() -> list[str]:
 
 
 def all_experiments() -> list[Experiment]:
+    """Every registered experiment, in registration order."""
     _ensure_populated()
     return list(_REGISTRY.values())
 

@@ -26,6 +26,9 @@ import heapq
 import itertools
 from typing import Any, Generator, Iterable
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+
 __all__ = [
     "Environment",
     "Event",
@@ -35,6 +38,47 @@ __all__ = [
     "all_of",
     "any_of",
 ]
+
+
+# -- observability (all no-ops unless recording/metrics are enabled) --------
+
+_C_SCHEDULED = _metrics.counter(
+    "sim.events_scheduled", unit="events", layer="sim",
+    help="entries pushed onto the event queue (timeouts, wakes, processes)",
+)
+_C_FIRED = _metrics.counter(
+    "sim.events_fired", unit="events", layer="sim",
+    help="queue entries popped and fired",
+)
+_C_SPAWNED = _metrics.counter(
+    "sim.processes_spawned", unit="processes", layer="sim",
+    help="generator processes started with env.process(...)",
+)
+_C_FINISHED = _metrics.counter(
+    "sim.processes_finished", unit="processes", layer="sim",
+    help="generator processes that ran to completion",
+)
+
+_EV_SCHEDULE = _trace.event_type(
+    "sim.schedule", layer="sim",
+    help="an event was scheduled onto the queue",
+    fields=("at", "kind"),
+)
+_EV_FIRE = _trace.event_type(
+    "sim.fire", layer="sim",
+    help="a queue entry fired (the clock advanced to its time)",
+    fields=("kind",),
+)
+_EV_PROCESS_SPAWN = _trace.event_type(
+    "sim.process_spawn", layer="sim",
+    help="a generator process was registered with the environment",
+    fields=(),
+)
+_EV_PROCESS_FINISH = _trace.event_type(
+    "sim.process_finish", layer="sim",
+    help="a generator process returned (its completion event fires)",
+    fields=(),
+)
 
 
 class SimulationError(RuntimeError):
@@ -85,12 +129,18 @@ class Process(Event):
     def __init__(self, env: "Environment", generator: Generator) -> None:
         super().__init__(env)
         self._generator = generator
+        _C_SPAWNED.inc()
+        if _trace._RECORDER is not None:
+            _EV_PROCESS_SPAWN.emit(t=env.now)
         env._schedule(env.now, self, None)
 
     def _resume(self, value: Any) -> None:
         try:
             target = self._generator.send(value)
         except StopIteration as stop:
+            _C_FINISHED.inc()
+            if _trace._RECORDER is not None:
+                _EV_PROCESS_FINISH.emit(t=self.env.now)
             if not self.triggered:
                 self.succeed(getattr(stop, "value", None))
             return
@@ -157,9 +207,19 @@ class Environment:
     # -- internals -------------------------------------------------------------
 
     def _schedule(self, time: float, item: Event | Process, value: Any) -> None:
+        _C_SCHEDULED.inc()
+        if _trace._RECORDER is not None:
+            _EV_SCHEDULE.emit(t=self.now, at=time, kind=type(item).__name__)
         heapq.heappush(self._queue, (time, next(self._counter), item, value))
 
     def _fire(self, item: Event | Process, value: Any) -> None:
+        _C_FIRED.inc()
+        recorder = _trace._RECORDER
+        if recorder is not None:
+            # Keep the ambient trace clock on the firing event's time so
+            # un-env'd code (schedulers, policies) lands at the right t.
+            recorder.now = self.now
+            _EV_FIRE.emit(t=self.now, kind=type(item).__name__)
         if isinstance(item, Process):
             item._resume(value)
         elif isinstance(item, Timeout):

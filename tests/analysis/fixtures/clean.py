@@ -12,35 +12,42 @@ import numpy as np
 
 
 def measure(fn):
+    """Wall time of one call via the sanctioned monotonic timer."""
     start = time.perf_counter()  # monotonic timer is whitelisted
     fn()
     return time.perf_counter() - start
 
 
 def seeded_stream(seed):
+    """Four normal draws from an explicitly seeded generator."""
     rng = np.random.default_rng(seed)
     return rng.normal(size=4)
 
 
 def ordered(items):
+    """Deduplicated items in sorted (deterministic) order."""
     unique = set(items)
     return [item for item in sorted(unique)]
 
 
 def airtime_s(size_bytes, rate_mbps):
+    """Seconds to transmit ``size_bytes`` at ``rate_mbps``."""
     return size_bytes * 8.0 / (rate_mbps * 1e6)
 
 
 def budget_left_s(deadline_s, elapsed_ms):
+    """Remaining budget in seconds after an explicit ms->s conversion."""
     return deadline_s - elapsed_ms / 1e3
 
 
 def player(env, frame_interval_s, num_frames):
+    """Process: play frames by yielding one timeout per interval."""
     for _ in range(num_frames):
         yield env.timeout(frame_interval_s)
 
 
 def race(env, airtime, deadline_event):
+    """Process: wait out a transmission, report whether the deadline won."""
     tx_done = env.timeout(airtime)
     yield tx_done
     return deadline_event.triggered
@@ -48,6 +55,8 @@ def race(env, airtime, deadline_event):
 
 @dataclass(frozen=True)
 class PlayerConfig:
+    """Validated playback configuration."""
+
     frame_interval_s: float = 1.0 / 30.0
 
     def __post_init__(self) -> None:

@@ -1,0 +1,78 @@
+"""The docs family (H5xx): docstrings on ``__all__``-exported names."""
+
+from repro.analysis import analyze_source
+
+
+def test_exported_function_without_docstring_flagged():
+    src = (
+        '__all__ = ["f"]\n'
+        "def f(x):\n"
+        "    return x\n"
+    )
+    findings = analyze_source(src)
+    assert [f.rule for f in findings] == ["H501"]
+    assert "`f`" in findings[0].message
+
+
+def test_exported_class_without_docstring_flagged():
+    src = (
+        '__all__ = ("Player",)\n'
+        "class Player:\n"
+        "    pass\n"
+    )
+    findings = analyze_source(src)
+    assert [f.rule for f in findings] == ["H501"]
+    assert "class" in findings[0].message
+
+
+def test_documented_exports_pass():
+    src = (
+        '__all__ = ["f", "Player"]\n'
+        "def f(x):\n"
+        '    """Return x unchanged."""\n'
+        "    return x\n"
+        "class Player:\n"
+        '    """A playback client."""\n'
+    )
+    assert analyze_source(src) == []
+
+
+def test_module_without_all_is_out_of_scope():
+    src = (
+        "def helper(x):\n"
+        "    return x\n"
+        "class Scratch:\n"
+        "    pass\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_unexported_names_not_flagged():
+    src = (
+        '__all__ = ["f"]\n'
+        "def f(x):\n"
+        '    """Return x."""\n'
+        "    return x\n"
+        "def not_exported(x):\n"
+        "    return x\n"
+    )
+    assert analyze_source(src) == []
+
+
+def test_noqa_suppresses_h501():
+    src = (
+        '__all__ = ["f"]\n'
+        "def f(x):  # repro: noqa[H501]\n"
+        "    return x\n"
+    )
+    findings = analyze_source(src)
+    assert [f.suppressed for f in findings] == [True]
+
+
+def test_annotated_all_assignment_recognized():
+    src = (
+        "__all__: list[str] = ['f']\n"
+        "def f(x):\n"
+        "    return x\n"
+    )
+    assert [f.rule for f in analyze_source(src)] == ["H501"]

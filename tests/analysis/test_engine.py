@@ -96,5 +96,5 @@ def test_rule_ids_are_unique_and_familied():
     ids = rule_ids()
     assert len(ids) == len(set(ids)) == len(ALL_RULES)
     assert set(rules_by_family()) == {
-        "determinism", "units", "simproc", "hygiene"
+        "determinism", "units", "simproc", "hygiene", "docs"
     }

@@ -1,0 +1,16 @@
+"""Obs-suite hygiene: never leak global recorder/registry state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Restore the global registry/recorder to the disabled default."""
+    yield
+    trace.uninstall()
+    metrics.REGISTRY.disable()
+    metrics.REGISTRY.reset()

@@ -1,0 +1,125 @@
+"""CLI round trips: ``repro trace`` and ``repro run --metrics-out``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.obs.cli import main as trace_main
+from repro.runner.cli import main as runner_main
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    """One traced loss_sweep run shared by the assertions below."""
+    out_dir = tmp_path_factory.mktemp("trace")
+    trace_path = out_dir / "loss.jsonl"
+    metrics_path = out_dir / "metrics.json"
+    status = trace_main(
+        [
+            "loss_sweep",
+            "--scale", "small",
+            "--out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+            "--quiet",
+        ]
+    )
+    assert status == 0
+    records = [
+        json.loads(line) for line in trace_path.read_text().splitlines()
+    ]
+    return records, json.loads(metrics_path.read_text())
+
+
+def test_trace_cli_emits_all_four_layers(traced):
+    records, _ = traced
+    assert records, "trace must not be empty"
+    layers = {r["layer"] for r in records}
+    assert {"sim", "net", "mac", "core"} <= layers
+
+
+def test_trace_cli_records_carry_the_envelope(traced):
+    records, _ = traced
+    for r in records[:200]:
+        assert {"t", "seq", "layer", "event", "unit"} <= set(r)
+
+
+def test_trace_cli_is_ordered(traced):
+    records, _ = traced
+    seqs = [r["seq"] for r in records]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    # Sim time is non-decreasing except where a fresh private engine clock
+    # starts (loss_sweep spins one transport simulation per frame, and each
+    # restarts at t = 0) — `seq` is the total order across those clocks.
+    unit = records[0]["unit"]
+    sim_times = [
+        r["t"] for r in records if r["unit"] == unit and r["layer"] == "sim"
+    ]
+    assert sim_times, "expected sim-layer events in the first unit"
+    for prev, cur in zip(sim_times, sim_times[1:]):
+        assert cur >= prev or cur == 0.0, (
+            f"sim time went backwards without a clock restart: {prev} -> {cur}"
+        )
+
+
+def test_trace_cli_metrics_snapshot_covers_the_layers(traced):
+    _, snap = traced
+    layers = {entry["layer"] for entry in snap.values()}
+    assert {"sim", "net"} <= layers
+    assert snap["sim.events_fired"]["value"] > 0
+    assert snap["net.packets_sent"]["value"] > 0
+
+
+def test_trace_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        trace_main(["frobnicate"])
+
+
+def test_trace_subcommand_routed_from_main_cli(tmp_path, capsys):
+    out = tmp_path / "t.jsonl"
+    assert repro_main(["trace", "fig3d", "--scale", "small",
+                       "--out", str(out), "--quiet"]) == 0
+    assert out.exists()
+    assert "trace:" in capsys.readouterr().out
+
+
+def test_run_metrics_out_round_trip(tmp_path, capsys):
+    path = tmp_path / "metrics.json"
+    status = runner_main(
+        [
+            "run", "loss_sweep",
+            "--scale", "small",
+            "--no-cache",
+            "--quiet",
+            "--metrics-out", str(path),
+        ]
+    )
+    assert status == 0
+    assert "metrics written to" in capsys.readouterr().out
+    snap = json.loads(path.read_text())
+    assert list(snap) == sorted(snap)
+    assert snap["net.packets_sent"]["value"] > 0
+    assert snap["net.frame_airtime_s"]["kind"] == "histogram"
+    assert sum(snap["net.frame_airtime_s"]["counts"]) == (
+        snap["net.frame_airtime_s"]["count"]
+    )
+
+
+def test_run_timings_include_profiler_phases(tmp_path):
+    timings = tmp_path / "timings.json"
+    status = runner_main(
+        [
+            "run", "fig3d",
+            "--scale", "small",
+            "--no-cache",
+            "--quiet",
+            "--timings", str(timings),
+        ]
+    )
+    assert status == 0
+    payload = json.loads(timings.read_text())
+    assert {"plan", "execute", "merge"} <= set(payload["phases"])
+    for phase in payload["phases"].values():
+        assert phase["wall_s"] >= 0.0 and phase["count"] >= 1

@@ -1,0 +1,151 @@
+"""The metrics registry: kinds, lifecycle, deterministic snapshots, merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, merge_snapshots, write_snapshot
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.enable()
+    return reg
+
+
+def test_counter_accumulates_and_snapshots(registry):
+    c = registry.counter("a.total", unit="frames", layer="core", help="frames")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    assert registry.snapshot()["a.total"] == {
+        "kind": "counter", "unit": "frames", "layer": "core", "value": 3.5,
+    }
+
+
+def test_counter_rejects_negative_increment(registry):
+    c = registry.counter("a.total")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_last_write_wins(registry):
+    g = registry.gauge("a.level")
+    assert g.value is None
+    g.set(4.0)
+    g.set(2.0)
+    assert g.value == 2.0
+
+
+def test_disabled_registry_is_a_noop():
+    reg = MetricsRegistry()  # disabled by default
+    c = reg.counter("a.total")
+    g = reg.gauge("a.level")
+    h = reg.histogram("a.dist", edges=[1.0])
+    c.inc(10)
+    g.set(3.0)
+    h.observe(0.5)
+    assert c.value == 0 and g.value is None and h.count == 0
+
+
+def test_histogram_bucketing_boundaries(registry):
+    h = registry.histogram("a.dist", edges=[0.1, 0.5, 1.0])
+    # An observation lands in the first bucket whose edge is >= the value;
+    # values above the last edge land in the overflow bucket.
+    h.observe(0.05)   # -> bucket 0 (<= 0.1)
+    h.observe(0.1)    # -> bucket 0 (boundary is inclusive)
+    h.observe(0.3)    # -> bucket 1
+    h.observe(1.0)    # -> bucket 2
+    h.observe(7.0)    # -> overflow
+    assert h.counts == (2, 1, 1, 1)
+    assert h.count == 5
+    assert h.sum == pytest.approx(8.45)
+
+
+def test_histogram_edges_validated(registry):
+    with pytest.raises(ValueError):
+        registry.histogram("bad.empty", edges=[])
+    with pytest.raises(ValueError):
+        registry.histogram("bad.order", edges=[1.0, 1.0])
+
+
+def test_registration_is_idempotent_but_kind_checked(registry):
+    first = registry.counter("a.total")
+    assert registry.counter("a.total") is first
+    with pytest.raises(ValueError):
+        registry.gauge("a.total")
+
+
+def test_snapshot_is_sorted_and_stable(registry):
+    registry.counter("z.last").inc(1)
+    registry.counter("a.first").inc(2)
+    registry.histogram("m.mid", edges=[1.0]).observe(0.5)
+    snap = registry.snapshot()
+    assert list(snap) == sorted(snap)
+    # Pure data, reproducible, and JSON-serializable as-is.
+    assert snap == registry.snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+
+
+def test_reset_zeroes_values_but_keeps_registrations(registry):
+    c = registry.counter("a.total")
+    h = registry.histogram("a.dist", edges=[1.0])
+    c.inc(5)
+    h.observe(0.5)
+    registry.reset()
+    assert registry.get("a.total") is c
+    assert c.value == 0
+    assert h.counts == (0, 0) and h.sum == 0.0
+
+
+def _snap(**values):
+    reg = MetricsRegistry()
+    reg.enable()
+    reg.counter("c", layer="net").inc(values.get("c", 0))
+    if "g" in values:
+        reg.gauge("g").set(values["g"])
+    else:
+        reg.gauge("g")
+    h = reg.histogram("h", edges=[1.0, 2.0])
+    for v in values.get("h", ()):
+        h.observe(v)
+    return reg.snapshot()
+
+
+def test_merge_snapshots_adds_counters_and_buckets():
+    merged = merge_snapshots([_snap(c=2, h=[0.5]), _snap(c=3, h=[1.5, 9.0])])
+    assert merged["c"]["value"] == 5
+    assert merged["h"]["counts"] == [1, 1, 1]
+    assert merged["h"]["count"] == 3
+    assert merged["h"]["sum"] == pytest.approx(11.0)
+    assert list(merged) == sorted(merged)
+
+
+def test_merge_snapshots_gauge_last_non_null_wins():
+    merged = merge_snapshots([_snap(g=4.0), _snap(), _snap(g=1.5), _snap()])
+    assert merged["g"]["value"] == 1.5
+
+
+def test_merge_snapshots_does_not_mutate_inputs():
+    a, b = _snap(c=2), _snap(c=3)
+    merge_snapshots([a, b])
+    assert a["c"]["value"] == 2 and b["c"]["value"] == 3
+
+
+def test_merge_snapshots_rejects_kind_clash():
+    bad = {"c": {"kind": "gauge", "unit": "", "layer": "", "value": 1.0}}
+    with pytest.raises(ValueError):
+        merge_snapshots([_snap(c=1), bad])
+
+
+def test_write_snapshot_is_canonical(tmp_path):
+    path = write_snapshot(tmp_path / "snap.json", _snap(c=2, g=1.0, h=[0.5]))
+    text = path.read_text()
+    assert text.endswith("\n")
+    loaded = json.loads(text)
+    assert loaded == _snap(c=2, g=1.0, h=[0.5])
+    # Canonical: re-serializing with sorted keys reproduces the file.
+    assert text == json.dumps(loaded, sort_keys=True, indent=1) + "\n"

@@ -1,0 +1,134 @@
+"""The trace recorder: ordering, engine hooks, context, JSONL shape."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import TraceRecorder, event_type, recording
+from repro.sim import Environment
+
+_EV_TEST = event_type(
+    "test.ping", layer="core", help="test-only event", fields=("n",)
+)
+
+
+def test_emit_without_recorder_is_a_noop():
+    assert trace.active() is None
+    _EV_TEST.emit(t=1.0, n=1)  # must not raise, must not record anywhere
+
+
+def test_recording_installs_and_uninstalls():
+    with recording() as recorder:
+        assert trace.active() is recorder
+        _EV_TEST.emit(t=0.5, n=7)
+    assert trace.active() is None
+    assert len(recorder) == 1
+    assert recorder.events[0].event == "test.ping"
+    assert recorder.events[0].fields == {"n": 7}
+
+
+def test_double_install_is_rejected():
+    with recording():
+        with pytest.raises(RuntimeError):
+            trace.install(TraceRecorder())
+
+
+def test_event_type_declaration_is_idempotent():
+    again = event_type("test.ping", layer="other")
+    assert again is _EV_TEST
+    assert again.layer == "core"  # first declaration wins
+
+
+def test_seq_is_a_strict_total_order():
+    with recording() as recorder:
+        for n in range(5):
+            _EV_TEST.emit(t=0.0, n=n)  # identical timestamps
+    seqs = [ev.seq for ev in recorder.events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == 5
+
+
+def test_context_fields_merge_into_events():
+    with recording() as recorder:
+        recorder.set_context(unit="spec-a")
+        _EV_TEST.emit(t=0.0, n=1)
+        recorder.clear_context()
+        _EV_TEST.emit(t=0.0, n=2)
+    assert recorder.events[0].fields == {"unit": "spec-a", "n": 1}
+    assert recorder.events[1].fields == {"n": 2}
+
+
+def test_ambient_time_defaults_to_recorder_now():
+    with recording() as recorder:
+        recorder.now = 3.25
+        _EV_TEST.emit(n=1)  # no explicit t
+    assert recorder.events[0].t == 3.25
+
+
+def _two_process_sim():
+    env = Environment()
+
+    def worker(delay):
+        yield env.timeout(delay)
+
+    env.process(worker(1.0))
+    env.process(worker(2.0))
+    env.run()
+
+
+def test_engine_hooks_emit_sim_events_in_time_order():
+    with recording() as recorder:
+        _two_process_sim()
+    names = {ev.event for ev in recorder.events}
+    assert {
+        "sim.schedule", "sim.fire", "sim.process_spawn", "sim.process_finish"
+    } <= names
+    # All engine events are attributed to the sim layer and, within one
+    # Environment, land in non-decreasing sim-time order.
+    times = [ev.t for ev in recorder.events if ev.layer == "sim"]
+    assert times == sorted(times)
+    finishes = [ev for ev in recorder.events if ev.event == "sim.process_finish"]
+    assert [ev.t for ev in finishes] == [1.0, 2.0]
+
+
+def test_tracing_does_not_change_sim_behavior():
+    env = Environment()
+    log: list[float] = []
+
+    def worker():
+        yield env.timeout(1.5)
+        log.append(env.now)
+
+    env.process(worker())
+    env.run()
+
+    with recording():
+        env2 = Environment()
+        log2: list[float] = []
+
+        def worker2():
+            yield env2.timeout(1.5)
+            log2.append(env2.now)
+
+        env2.process(worker2())
+        env2.run()
+    assert log == log2 == [1.5]
+
+
+def test_jsonl_round_trip(tmp_path):
+    with recording() as recorder:
+        recorder.set_context(unit="u")
+        _EV_TEST.emit(t=0.25, n=1)
+        _EV_TEST.emit(t=0.5, n=2)
+    path = recorder.write_jsonl(tmp_path / "out.jsonl")
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {
+        "t": 0.25, "seq": 0, "layer": "core", "event": "test.ping",
+        "n": 1, "unit": "u",
+    }
+    # Envelope keys lead every record, in a fixed order.
+    assert list(first)[:4] == ["t", "seq", "layer", "event"]

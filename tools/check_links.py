@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans every ``[text](target)`` and bare ``.md`` backtick reference in the
+given files (default: the top-level docs plus ``docs/``), skips external
+schemes (http/https/mailto) and pure in-page anchors, and verifies each
+remaining target exists relative to the file that links to it.  CI runs
+this next to ``gen_metrics_doc.py --check``.
+
+    python tools/check_links.py              # default file set
+    python tools/check_links.py README.md    # explicit files
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+    "docs/METRICS.md",
+]
+
+# [text](target) — target ends at the first unescaped ')'.
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `path/to/file.md` or `docs/FILE.md` mentioned inline in backticks.
+_TICK_REF = re.compile(r"`([A-Za-z0-9_./-]+\.md)`")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _targets(text: str) -> set[str]:
+    """Every link target worth checking in one markdown document."""
+    found = set(_MD_LINK.findall(text))
+    found.update(_TICK_REF.findall(text))
+    return {
+        t for t in found if not t.startswith(_SKIP_PREFIXES)
+    }
+
+
+def check_file(path: Path) -> list[str]:
+    """Return one problem string per unresolvable link in ``path``."""
+    problems = []
+    text = path.read_text()
+    for target in sorted(_targets(text)):
+        resolved = target.split("#", 1)[0]
+        if not resolved:
+            continue
+        candidate = (path.parent / resolved).resolve()
+        # Top-level docs are also referenced root-relative from docs/.
+        fallback = (REPO_ROOT / resolved).resolve()
+        if not candidate.exists() and not fallback.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Check the given (or default) markdown files; exit 1 on broken links."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        default=DEFAULT_FILES,
+        metavar="FILE",
+        help="markdown files to check (default: top-level docs + docs/)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = []
+    checked = 0
+    for name in args.files:
+        path = (REPO_ROOT / name) if not Path(name).is_absolute() else Path(name)
+        if not path.exists():
+            problems.append(f"{name}: file not found")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"{checked} file(s) checked, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
