@@ -9,12 +9,17 @@
     python -m repro run table1 --parallel 4   # parallel runner + result cache
     python -m repro figures --parallel 4      # every registered figure/table
     python -m repro trace loss_sweep          # structured JSONL timeline
+    python -m repro obs analyze t.jsonl       # spans + latency attribution
+    python -m repro obs check t.jsonl --spec slo.json   # SLO gating
+    python -m repro bench loss_sweep          # BENCH_<n>.json perf point
 
 Each command prints the same formatted rows the benchmarks assert on.
 ``lint`` forwards to :mod:`repro.analysis` (same as
 ``python -m repro.analysis``); ``run`` and ``figures`` forward to the
-deterministic parallel runner in :mod:`repro.runner.cli`; ``trace``
-forwards to the observability recorder in :mod:`repro.obs.cli`.
+deterministic parallel runner in :mod:`repro.runner.cli`; ``trace`` and
+``obs`` forward to the observability layer in :mod:`repro.obs.cli`;
+``bench`` forwards to the perf-trajectory harness in
+:mod:`repro.obs.bench`.
 """
 
 from __future__ import annotations
@@ -196,6 +201,14 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from .obs.cli import obs_main
+
+        return obs_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .obs.bench import main as bench_main
+
+        return bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -46,11 +46,11 @@ _EV_GROUP = _trace.event_type(
     "core.group_decision", layer="core",
     help="a grouping policy committed a partition: how many multicast "
          "groups and how many users share beams this frame",
-    fields=("policy", "groups", "grouped_users"),
+    fields=("policy", "groups", "grouped_users", "user_ids", "frame"),
 )
 
 
-def _record(result: "GroupingResult") -> "GroupingResult":
+def _record(result: "GroupingResult", frame: int | None = None) -> "GroupingResult":
     """Count and trace a committed grouping decision, pass it through."""
     _C_GROUPING.inc()
     if _trace._RECORDER is not None:
@@ -58,6 +58,8 @@ def _record(result: "GroupingResult") -> "GroupingResult":
             policy=result.policy,
             groups=len(result.plan.groups),
             grouped_users=len(result.plan.grouped_users),
+            user_ids=sorted(result.plan.demands),
+            **_trace.correlation(frame=frame),
         )
     return result
 
@@ -82,9 +84,19 @@ class GroupingResult:
         return self.plan.achievable_fps()
 
 
-def no_grouping(demands: Sequence[UserDemand]) -> GroupingResult:
-    """Pure unicast baseline."""
-    return _record(GroupingResult(plan=plan_frame(list(demands)), policy="unicast"))
+def no_grouping(
+    demands: Sequence[UserDemand], frame: int | None = None
+) -> GroupingResult:
+    """Pure unicast baseline.
+
+    ``frame`` is a trace-only correlation field shared by every grouping
+    policy; it never changes the partition.
+    """
+    return _record(
+        GroupingResult(plan=plan_frame(list(demands), frame=frame),
+                       policy="unicast"),
+        frame=frame,
+    )
 
 
 def _visibility_map(demand: UserDemand) -> frozenset:
@@ -96,6 +108,7 @@ def greedy_similarity_grouping(
     multicast_rate_fn: RateFn,
     target_fps: float = 30.0,
     min_iou: float = 0.05,
+    frame: int | None = None,
 ) -> GroupingResult:
     """Greedy merge of high-similarity users into multicast groups.
 
@@ -142,7 +155,9 @@ def greedy_similarity_grouping(
                 best_plan = trial_plan
                 improved = True
                 break
-    return _record(GroupingResult(plan=best_plan, policy="greedy-similarity"))
+    return _record(
+        GroupingResult(plan=best_plan, policy="greedy-similarity"), frame=frame
+    )
 
 
 def _partitions(items: list[int]):
@@ -164,6 +179,7 @@ def exhaustive_grouping(
     multicast_rate_fn: RateFn,
     target_fps: float = 30.0,
     max_users: int = 9,
+    frame: int | None = None,
 ) -> GroupingResult:
     """Optimal partition by full enumeration (small N only).
 
@@ -189,4 +205,6 @@ def exhaustive_grouping(
             best_plan = plan
     if best_plan is None:  # unreachable: _partitions always yields once
         raise RuntimeError("exhaustive grouping evaluated no partition")
-    return _record(GroupingResult(plan=best_plan, policy="exhaustive"))
+    return _record(
+        GroupingResult(plan=best_plan, policy="exhaustive"), frame=frame
+    )

@@ -38,7 +38,14 @@ QOE_SAMPLE = _trace.event_type(
     "core.qoe_sample", layer="core",
     help="one frame-rate QoE sample (per user per played second in the "
          "closed loop; per frame with user -1 in open-loop sweeps)",
-    fields=("user", "fps"),
+    fields=("user", "fps", "frame"),
+)
+FRAME_PLAYED = _trace.event_type(
+    "core.frame_played", layer="core",
+    help="a client buffer played out one frame (the end of the frame's "
+         "cross-layer span); on_time compares arrival against the playback "
+         "deadline",
+    fields=("user", "frame", "quality", "on_time"),
 )
 PLAYBACK_STATE = _trace.event_type(
     "core.playback_state", layer="core",

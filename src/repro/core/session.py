@@ -48,6 +48,7 @@ from .grouping import (
 from ..obs import trace as _trace
 from .qoe import (
     ADAPTATION_DECISION,
+    FRAME_PLAYED,
     FRAMES_PLAYED,
     PLAYBACK_STATE,
     QOE_SAMPLE,
@@ -190,19 +191,26 @@ def _group_demands(
     config: SessionConfig,
     demands: list[UserDemand],
     sample_index: int,
+    frame: int | None = None,
 ) -> GroupingResult:
-    """Apply the configured grouping policy to one frame's demands."""
+    """Apply the configured grouping policy to one frame's demands.
+
+    ``frame`` is a trace-only correlation field threaded into the policy's
+    decision event; it never changes the partition.
+    """
     rate_fn = lambda members: config.rates.multicast_rate_mbps(  # noqa: E731
         members, sample_index
     )
     if config.grouping == "none" or len(demands) < 2:
-        return no_grouping(demands)
+        return no_grouping(demands, frame=frame)
     if config.grouping == "greedy":
         return greedy_similarity_grouping(
             demands, rate_fn, target_fps=config.target_fps,
-            min_iou=config.min_group_iou,
+            min_iou=config.min_group_iou, frame=frame,
         )
-    return exhaustive_grouping(demands, rate_fn, target_fps=config.target_fps)
+    return exhaustive_grouping(
+        demands, rate_fn, target_fps=config.target_fps, frame=frame
+    )
 
 
 def measure_max_fps(
@@ -243,20 +251,21 @@ def measure_max_fps(
             )
             rate = config.rates.unicast_rate_mbps(u, sample)
             demands.append(builder.demand(u, f, decision.quality, now_s, rate))
-        result = _group_demands(config, demands, sample)
+        result = _group_demands(config, demands, sample, frame=f)
         plan = result.plan
         if config.beam_switch_overhead_s:
             plan = plan_frame(
                 list(plan.demands.values()),
                 groups=plan.groups,
                 beam_switch_overhead_s=config.beam_switch_overhead_s,
+                frame=f,
             )
         if transport is None:
             fps.append(plan.achievable_fps(cap_fps=config.target_fps))
         else:
             pers = {u: transport.link_per(rss[u]) for u in range(num_users)}
             outcome = transport.frame_outcome(
-                plan, pers, target_fps=config.target_fps
+                plan, pers, target_fps=config.target_fps, frame=f
             )
             fps.append(outcome.effective_fps(cap_fps=config.target_fps))
     return np.array(fps)
@@ -357,13 +366,14 @@ class StreamingSession:
                 )
                 for u in users
             ]
-            result = _group_demands(config, demands, sample)
+            result = _group_demands(config, demands, sample, frame=frame_index)
             plan = result.plan
             if config.beam_switch_overhead_s:
                 plan = plan_frame(
                     demands,
                     groups=plan.groups,
                     beam_switch_overhead_s=config.beam_switch_overhead_s,
+                    frame=frame_index,
                 )
             t_tx = plan.total_time_s()
             if not np.isfinite(t_tx) or t_tx > 1.0:
@@ -382,7 +392,8 @@ class StreamingSession:
                 t0 = self.env.now
                 outcome = yield self.env.process(
                     self.transport.deliver(
-                        self.env, plan, pers, config.target_fps
+                        self.env, plan, pers, config.target_fps,
+                        frame=frame_index,
                     )
                 )
                 if self.env.now <= t0:
@@ -454,8 +465,18 @@ class StreamingSession:
                 FRAMES_PLAYED.inc()
                 played_this_second += 1
                 deadline = frame.frame_index / config.target_fps + 0.5
-                if frame.arrived_at_s <= deadline:
+                on_time = frame.arrived_at_s <= deadline
+                if on_time:
                     stats.frames_on_time += 1
+                if _trace._RECORDER is not None:
+                    FRAME_PLAYED.emit(
+                        t=self.env.now,
+                        quality=frame.quality,
+                        on_time=on_time,
+                        **_trace.correlation(
+                            frame=frame.frame_index, user=user
+                        ),
+                    )
                 stats.bitrate_samples_mbps.append(
                     QUALITIES[frame.quality].bitrate_mbps
                 )

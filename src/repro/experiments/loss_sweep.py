@@ -139,15 +139,19 @@ def run_one(spec: RunSpec) -> dict:
         delivered_bytes = 0.0
         delivered_frames = 0
         fps_sum = 0.0
-        for _ in range(num_frames):
-            outcome = sim.frame_outcome(plan, pers, target_fps=target_fps)
+        for frame in range(num_frames):
+            outcome = sim.frame_outcome(
+                plan, pers, target_fps=target_fps, frame=frame
+            )
             airtime += outcome.airtime_s
             delivered_bytes += outcome.app_bytes_delivered
             delivered_frames += sum(outcome.delivered.values())
             frame_fps = outcome.effective_fps(cap_fps=target_fps)
             fps_sum += frame_fps
             if _trace._RECORDER is not None:
-                QOE_SAMPLE.emit(user=-1, fps=frame_fps)
+                QOE_SAMPLE.emit(
+                    user=-1, fps=frame_fps, **_trace.correlation(frame=frame)
+                )
         points.append(
             {
                 "loss": p,

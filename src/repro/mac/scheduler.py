@@ -41,7 +41,7 @@ _EV_PLAN = _trace.event_type(
     "mac.frame_plan", layer="mac",
     help="a frame delivery plan was built (grant decision: who shares a "
          "multicast beam, who goes solo)",
-    fields=("users", "groups", "solo", "total_time_s"),
+    fields=("users", "groups", "solo", "total_time_s", "user_ids", "frame"),
 )
 
 
@@ -183,8 +183,13 @@ def plan_frame(
     demands: list[UserDemand],
     groups: list[tuple[tuple[int, ...], float]] | None = None,
     beam_switch_overhead_s: float = 0.0,
+    frame: int | None = None,
 ) -> FramePlan:
-    """Build a :class:`FramePlan` from a demand list."""
+    """Build a :class:`FramePlan` from a demand list.
+
+    ``frame`` is a trace-only correlation field (the frame index the plan
+    is for, when the caller knows it); it never changes the plan.
+    """
     plan = FramePlan(
         demands={d.user_id: d for d in demands},
         groups=groups or [],
@@ -198,5 +203,7 @@ def plan_frame(
             groups=len(plan.groups),
             solo=len(plan.solo_users),
             total_time_s=plan.total_time_s(),
+            user_ids=sorted(plan.demands),
+            **_trace.correlation(frame=frame),
         )
     return plan

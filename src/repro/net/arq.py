@@ -38,14 +38,17 @@ ROUND_DONE = "arq-round-done"
 
 _EV_ARQ_ROUND = _trace.event_type(
     "net.arq_round", layer="net",
-    help="one block-ACK round completed (union retransmission + feedback)",
-    fields=("round", "packets", "pending_receivers"),
+    help="one block-ACK round completed (union retransmission + feedback); "
+         "cost_s = data_s (PDU airtime) + overhead_s (per-member feedback "
+         "and turnaround)",
+    fields=("round", "packets", "pending_receivers", "cost_s", "data_s",
+            "overhead_s", "frame", "users"),
 )
 _EV_ARQ_DEADLINE = _trace.event_type(
     "net.arq_deadline", layer="net",
     help="the frame deadline cut an ARQ round short; the block stays "
-         "unacknowledged",
-    fields=("round", "pending_receivers"),
+         "unacknowledged and wasted_s of airtime bought nothing",
+    fields=("round", "pending_receivers", "wasted_s", "frame", "users"),
 )
 
 
@@ -87,6 +90,8 @@ def block_arq_process(
     packet_time_s: float,
     config: ArqConfig,
     deadline_event: Event | None = None,
+    frame: int | None = None,
+    receivers: tuple[int, ...] | None = None,
 ):
     """Process: deliver ``num_packets`` to every receiver via block-ACK rounds.
 
@@ -95,6 +100,10 @@ def block_arq_process(
     slot per receiver plus the round-trip turnaround.  ``deadline_event``
     (shared across a frame's transmission units) cuts the loop short; the
     interrupted round is wasted airtime.
+
+    ``frame`` and ``receivers`` are trace-only correlation fields (the frame
+    index being delivered and the receiver user ids, when the caller knows
+    them); they never influence the delivery outcome.
 
     Returns an :class:`ArqOutcome` (as the process's value).
     """
@@ -130,6 +139,7 @@ def block_arq_process(
         if n_union == 0:
             break
         cost = n_union * packet_time_s + overhead_s
+        round_start = env.now
         round_done = env.timeout(cost, value=ROUND_DONE)
         if deadline_event is not None:
             winner = yield any_of(env, [round_done, deadline_event])
@@ -143,6 +153,8 @@ def block_arq_process(
                     t=env.now,
                     round=rounds + 1,
                     pending_receivers=int(needs.any(axis=1).sum()),
+                    wasted_s=env.now - round_start,
+                    **_trace.correlation(frame=frame, users=receivers),
                 )
             break
         rounds += 1
@@ -164,6 +176,10 @@ def block_arq_process(
                 round=rounds,
                 packets=n_union,
                 pending_receivers=int(needs.any(axis=1).sum()),
+                cost_s=cost,
+                data_s=n_union * packet_time_s,
+                overhead_s=overhead_s,
+                **_trace.correlation(frame=frame, users=receivers),
             )
     residual = tuple(int(needs[r].sum()) for r in range(num_receivers))
     return ArqOutcome(

@@ -87,22 +87,37 @@ _EV_UNIT_TX = _trace.event_type(
     "net.unit_tx", layer="net",
     help="one transmission unit (multicast shared cells, residuals, or a solo "
          "frame) finished its delivery attempt",
-    fields=("scheme", "packets", "receivers", "delivered"),
+    fields=("scheme", "packets", "receivers", "delivered", "airtime_s",
+            "frame", "users"),
 )
 _EV_FEC_TX = _trace.event_type(
     "net.fec_tx", layer="net",
-    help="one FEC-protected block was transmitted (possibly deadline-truncated)",
-    fields=("k", "n_planned", "n_sent", "truncated"),
+    help="one FEC-protected block was transmitted (possibly deadline-"
+         "truncated); airtime_s = source_s (the k source PDUs) + repair_s "
+         "(repair PDUs and truncation remainder)",
+    fields=("k", "n_planned", "n_sent", "truncated", "airtime_s", "source_s",
+            "repair_s", "frame", "users"),
+)
+_EV_BEAM_SWITCH = _trace.event_type(
+    "net.beam_switch", layer="net",
+    help="the radio paid one beam-switch overhead before a transmission "
+         "unit (a MAC-layer cost the frame budget has to absorb)",
+    fields=("overhead_s", "frame"),
 )
 _EV_FRAME_OUTCOME = _trace.event_type(
     "net.frame_outcome", layer="net",
     help="a full frame plan finished: airtime, residual loss, recovery cost",
     fields=("airtime_s", "users", "lost", "packets", "arq_rounds",
-            "retx_overhead"),
+            "retx_overhead", "deadline_s", "frame", "delivered_users",
+            "lost_users"),
 )
 
 
-def _record_outcome(outcome: "FrameOutcome") -> None:
+def _record_outcome(
+    outcome: "FrameOutcome",
+    deadline_s: float | None = None,
+    frame: int | None = None,
+) -> None:
     """Fold one frame outcome into the metrics registry and the trace."""
     if _metrics.REGISTRY.enabled:
         ok = sum(outcome.delivered.values())
@@ -115,14 +130,24 @@ def _record_outcome(outcome: "FrameOutcome") -> None:
         _H_AIRTIME.observe(outcome.airtime_s)
         _H_RETX.observe(outcome.retx_overhead)
     if _trace._RECORDER is not None:
-        _EV_FRAME_OUTCOME.emit(
+        fields = dict(
             airtime_s=outcome.airtime_s,
             users=len(outcome.delivered),
             lost=sum(1 for ok in outcome.delivered.values() if not ok),
             packets=outcome.packets_sent,
             arq_rounds=outcome.arq_rounds,
             retx_overhead=outcome.retx_overhead,
+            delivered_users=sorted(
+                u for u, ok in outcome.delivered.items() if ok
+            ),
+            lost_users=sorted(
+                u for u, ok in outcome.delivered.items() if not ok
+            ),
         )
+        if deadline_s is not None:
+            fields["deadline_s"] = deadline_s
+        fields.update(_trace.correlation(frame=frame))
+        _EV_FRAME_OUTCOME.emit(**fields)
 
 
 @dataclass
@@ -179,14 +204,20 @@ class TransportSimulator:
     # -- delivery --------------------------------------------------------
 
     def frame_outcome(
-        self, plan: FramePlan, pers: dict[int, float], target_fps: float = 30.0
+        self,
+        plan: FramePlan,
+        pers: dict[int, float],
+        target_fps: float = 30.0,
+        frame: int | None = None,
     ) -> FrameOutcome:
         """Synchronously deliver one frame plan on a private clock."""
         env = Environment()
         holder: dict[str, FrameOutcome] = {}
 
         def runner():
-            holder["outcome"] = yield from self.deliver(env, plan, pers, target_fps)
+            holder["outcome"] = yield from self.deliver(
+                env, plan, pers, target_fps, frame=frame
+            )
 
         env.process(runner())
         env.run_until_empty()
@@ -198,6 +229,7 @@ class TransportSimulator:
         plan: FramePlan,
         pers: dict[int, float],
         target_fps: float = 30.0,
+        frame: int | None = None,
     ):
         """Process: deliver ``plan``; returns a :class:`FrameOutcome`.
 
@@ -206,8 +238,14 @@ class TransportSimulator:
         ``deadline_frames / target_fps`` seconds, serialized in plan order
         (multicast groups first, then their residuals, then solo users) —
         the packet-level analogue of the fluid model's summed airtime.
+
+        ``frame`` is a trace-only correlation field: the frame index this
+        plan carries, attached to every event the delivery emits so span
+        reconstruction can join them without heuristics.  It never affects
+        the outcome.
         """
         demands = plan.demands
+        deadline_s = self.config.deadline_s(target_fps)
         if self.config.is_ideal:
             t = plan.total_time_s()
             ok = bool(np.isfinite(t))
@@ -225,13 +263,11 @@ class TransportSimulator:
                 residual_loss=0.0 if ok else 1.0,
                 retx_overhead=0.0,
             )
-            _record_outcome(outcome)
+            _record_outcome(outcome, deadline_s=deadline_s, frame=frame)
             return outcome
 
         start = env.now
-        deadline_event = env.timeout(
-            self.config.deadline_s(target_fps), value=DEADLINE
-        )
+        deadline_event = env.timeout(deadline_s, value=DEADLINE)
         stats = _DeliveryStats()
         delivered: dict[int, bool] = {}
         pk = self.config.packetization
@@ -250,13 +286,16 @@ class TransportSimulator:
             member_pers = [pers.get(m, 0.0) for m in members]
             if overhead_s > 0:
                 yield env.timeout(overhead_s)
+                self._emit_beam_switch(env, overhead_s, frame)
             if self.config.multicast_scheme() == "arq":
                 ok = yield from self._arq_unit(
-                    env, shared_unit, rate, member_pers, deadline_event, stats
+                    env, shared_unit, rate, member_pers, deadline_event, stats,
+                    frame=frame, members=tuple(members),
                 )
             else:
                 ok = yield from self._fec_unit(
-                    env, shared_unit, rate, member_pers, deadline_event, stats
+                    env, shared_unit, rate, member_pers, deadline_event, stats,
+                    frame=frame, members=tuple(members),
                 )
             for m, shared_ok, demand in zip(members, ok, group_demands):
                 residual_map = {
@@ -274,6 +313,7 @@ class TransportSimulator:
                     continue
                 if overhead_s > 0:
                     yield env.timeout(overhead_s)
+                    self._emit_beam_switch(env, overhead_s, frame)
                 delivered[m] = yield from self._unicast_leg(
                     env,
                     packetize_cells(residual_map, pk),
@@ -281,12 +321,15 @@ class TransportSimulator:
                     pers.get(m, 0.0),
                     deadline_event,
                     stats,
+                    frame=frame,
+                    user=m,
                 )
 
         for u in plan.solo_users:
             demand = demands[u]
             if overhead_s > 0:
                 yield env.timeout(overhead_s)
+                self._emit_beam_switch(env, overhead_s, frame)
             delivered[u] = yield from self._unicast_leg(
                 env,
                 packetize_cells(demand.cell_bytes, pk),
@@ -294,6 +337,8 @@ class TransportSimulator:
                 pers.get(u, 0.0),
                 deadline_event,
                 stats,
+                frame=frame,
+                user=u,
             )
 
         airtime = env.now - start
@@ -317,19 +362,36 @@ class TransportSimulator:
             residual_loss=(losses / num_users) if num_users else 0.0,
             retx_overhead=retx_overhead,
         )
-        _record_outcome(outcome)
+        _record_outcome(outcome, deadline_s=deadline_s, frame=frame)
         return outcome
 
     # -- transmission units ---------------------------------------------
 
-    def _unicast_leg(self, env, unit, rate, per, deadline_event, stats):
+    @staticmethod
+    def _emit_beam_switch(
+        env: Environment, overhead_s: float, frame: int | None
+    ) -> None:
+        if _trace._RECORDER is not None:
+            _EV_BEAM_SWITCH.emit(
+                t=env.now,
+                overhead_s=overhead_s,
+                **_trace.correlation(frame=frame),
+            )
+
+    def _unicast_leg(
+        self, env, unit, rate, per, deadline_event, stats,
+        frame=None, user=None,
+    ):
+        members = None if user is None else (user,)
         if self.config.unicast_scheme() == "arq":
             ok = yield from self._arq_unit(
-                env, unit, rate, [per], deadline_event, stats
+                env, unit, rate, [per], deadline_event, stats,
+                frame=frame, members=members,
             )
         else:
             ok = yield from self._fec_unit(
-                env, unit, rate, [per], deadline_event, stats
+                env, unit, rate, [per], deadline_event, stats,
+                frame=frame, members=members,
             )
         return ok[0]
 
@@ -341,10 +403,13 @@ class TransportSimulator:
         member_pers: list[float],
         deadline_event: Event,
         stats: "_DeliveryStats",
+        frame: int | None = None,
+        members: tuple[int, ...] | None = None,
     ):
         if unit.num_packets == 0:
             return (True,) * len(member_pers)
         packet_time = _packet_time_s(unit, rate_mbps)
+        unit_start = env.now
         outcome = yield env.process(
             block_arq_process(
                 env,
@@ -354,6 +419,8 @@ class TransportSimulator:
                 packet_time,
                 self.config.arq,
                 deadline_event,
+                frame=frame,
+                receivers=members,
             )
         )
         stats.packets += outcome.packets_sent
@@ -366,6 +433,8 @@ class TransportSimulator:
                 packets=outcome.packets_sent,
                 receivers=len(member_pers),
                 delivered=sum(outcome.delivered),
+                airtime_s=env.now - unit_start,
+                **_trace.correlation(frame=frame, users=members),
             )
         return outcome.delivered
 
@@ -377,6 +446,8 @@ class TransportSimulator:
         member_pers: list[float],
         deadline_event: Event,
         stats: "_DeliveryStats",
+        frame: int | None = None,
+        members: tuple[int, ...] | None = None,
     ):
         k = unit.num_packets
         if k == 0:
@@ -402,12 +473,19 @@ class TransportSimulator:
         _C_FEC_REPAIR.inc(max(0, n_sent - k))
         decoded = sample_decodes(self.rng, k, n_sent, member_pers, self.config.fec)
         if _trace._RECORDER is not None:
+            elapsed = env.now - unit_start
+            source_s = min(n_sent, k) * packet_time
+            corr = _trace.correlation(frame=frame, users=members)
             _EV_FEC_TX.emit(
                 t=env.now,
                 k=k,
                 n_planned=n,
                 n_sent=n_sent,
                 truncated=winner != TX_DONE,
+                airtime_s=elapsed,
+                source_s=source_s,
+                repair_s=elapsed - source_s,
+                **corr,
             )
             _EV_UNIT_TX.emit(
                 t=env.now,
@@ -415,6 +493,8 @@ class TransportSimulator:
                 packets=n_sent,
                 receivers=len(member_pers),
                 delivered=sum(decoded),
+                airtime_s=elapsed,
+                **corr,
             )
         return decoded
 

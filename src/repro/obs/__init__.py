@@ -13,10 +13,25 @@ never touch an RNG, the sim clock, or experiment state):
 * :mod:`repro.obs.profile` — wall-clock phase profiling for the runner's
   ``--timings`` output.
 
-CLI surface: ``repro trace <experiment>`` records a timeline,
-``repro run --metrics-out FILE`` dumps merged metrics.  Every metric and
-event is documented in ``docs/METRICS.md``, generated (and drift-checked
-in CI) by ``tools/gen_metrics_doc.py``.
+On top of the recording substrate sits the analysis tier:
+
+* :mod:`repro.obs.spans` — folds a flat trace back into per-frame causal
+  spans via the declared correlation fields (never heuristics);
+* :mod:`repro.obs.analyze` — deadline critical-path attribution: each
+  frame's end-to-end latency decomposed into named layer segments whose
+  per-frame totals sum exactly to the frame latency;
+* :mod:`repro.obs.slo` — declarative SLO specs evaluated against a trace
+  (CI gating via ``repro obs check``);
+* :mod:`repro.obs.bench` — the ``repro bench`` perf-trajectory harness
+  (``BENCH_<n>.json`` points plus ``--compare`` regression gating).
+
+CLI surface: ``repro trace <experiment>`` records a timeline (with
+``--layer``/``--event`` write filters), ``repro obs analyze`` /
+``repro obs check`` consume one, ``repro bench`` measures the runner,
+``repro run --metrics-out FILE`` dumps merged metrics.  Every metric,
+event, span, segment, and SLO metric is documented in
+``docs/METRICS.md``, generated (and drift-checked in CI) by
+``tools/gen_metrics_doc.py``.
 """
 
 from .metrics import (
@@ -30,15 +45,18 @@ from .metrics import (
 )
 from .profile import PhaseProfiler
 from .trace import (
+    CORRELATION_FIELDS,
     EVENT_TYPES,
     TraceEvent,
     TraceEventType,
     TraceRecorder,
+    correlation,
     event_type,
     recording,
 )
 
 __all__ = [
+    "CORRELATION_FIELDS",
     "Counter",
     "EVENT_TYPES",
     "Gauge",
@@ -49,6 +67,7 @@ __all__ = [
     "TraceEvent",
     "TraceEventType",
     "TraceRecorder",
+    "correlation",
     "event_type",
     "merge_snapshots",
     "recording",

@@ -1,0 +1,315 @@
+"""Deadline critical-path attribution over a reconstructed trace.
+
+For every frame delivery attempt the transport traced, decompose the
+frame's end-to-end latency into named layer segments — where did the
+budget actually go?  The segments come from the events' own duration
+fields (never from timestamp subtraction across taps):
+
+* ``first_tx``   (net) — first-round data airtime: round-1 ARQ PDUs, FEC
+  source PDUs, or the whole airtime of an ideal-mode (fluid) frame;
+* ``arq_retx``   (net) — data airtime of ARQ rounds 2+ (union
+  retransmissions);
+* ``arq_feedback`` (mac) — per-member block-ACK feedback and round
+  turnaround, every round;
+* ``fec_repair`` (net) — FEC repair PDUs beyond the k source PDUs
+  (including the deadline-truncation remainder);
+* ``deadline_waste`` (net) — the partial ARQ round the deadline cut
+  short: airtime that delivered nothing;
+* ``beam_switch`` (mac) — beam-switch overheads paid before transmission
+  units;
+* ``unattributed`` (net) — the residual between the frame's recorded
+  latency and the sum of the segments above (floating-point drift and
+  any untraced gap), kept explicit so per-frame totals sum *exactly* to
+  the frame's end-to-end latency — ``tests/obs/test_analyze.py`` asserts
+  the equality with ``==``, not approximately.
+
+The module's entry point, :func:`analyze`, folds per-frame attributions
+into a blame table over all frames and over the *problem* frames (late or
+lost) — the deadline critical path the paper's cross-layer argument is
+about — plus a per-layer rollup and the worst offending frames.  The
+output is canonical JSON: same trace in, bit-identical report out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+from .spans import FrameSpans, Reconstruction, reconstruct
+
+__all__ = [
+    "AttributionSegment",
+    "SEGMENTS",
+    "SEGMENT_ORDER",
+    "attribute_frame",
+    "analyze",
+    "format_report",
+]
+
+
+class AttributionSegment:
+    """One named destination for frame-latency blame."""
+
+    __slots__ = ("name", "layer", "help")
+
+    def __init__(self, name: str, layer: str, help: str) -> None:
+        if not name:
+            raise ValueError("segment name must be non-empty")
+        self.name = name
+        self.layer = layer
+        self.help = help
+
+    def describe(self) -> dict[str, Any]:
+        """Static metadata — the METRICS.md generator input."""
+        return {"name": self.name, "layer": self.layer, "help": self.help}
+
+
+SEGMENTS: dict[str, AttributionSegment] = {}
+
+
+def _segment(name: str, layer: str, help: str) -> AttributionSegment:
+    declared = AttributionSegment(name, layer, help)
+    SEGMENTS[name] = declared
+    return declared
+
+
+SEG_FIRST_TX = _segment(
+    "first_tx", "net",
+    "first-round data airtime: round-1 ARQ PDUs, FEC source PDUs, or the "
+    "whole airtime of an ideal-mode frame",
+)
+SEG_ARQ_RETX = _segment(
+    "arq_retx", "net",
+    "data airtime of ARQ rounds 2+ — union retransmissions of lost PDUs",
+)
+SEG_ARQ_FEEDBACK = _segment(
+    "arq_feedback", "mac",
+    "per-member block-ACK feedback plus round turnaround, every ARQ round",
+)
+SEG_FEC_REPAIR = _segment(
+    "fec_repair", "net",
+    "FEC repair airtime beyond the k source PDUs (truncation remainder "
+    "included)",
+)
+SEG_DEADLINE_WASTE = _segment(
+    "deadline_waste", "net",
+    "the partial ARQ round the frame deadline cut short; delivered nothing",
+)
+SEG_BEAM_SWITCH = _segment(
+    "beam_switch", "mac",
+    "beam-switch overheads paid before transmission units",
+)
+SEG_UNATTRIBUTED = _segment(
+    "unattributed", "net",
+    "residual between the frame's recorded latency and the summed segments "
+    "(float drift / untraced gaps); keeps per-frame totals exact",
+)
+
+SEGMENT_ORDER: tuple[str, ...] = tuple(SEGMENTS)
+
+_PROBLEM_STATUSES = ("late", "lost")
+
+
+def attribute_frame(fs: FrameSpans) -> dict[str, float]:
+    """Decompose one frame attempt's latency into the segment catalog.
+
+    Returns ``{segment name: seconds}`` over every declared segment.  The
+    values sum (under :func:`math.fsum`) *exactly* to ``fs.airtime_s``:
+    the ``unattributed`` residual is iterated until the equality holds in
+    floating point, so the invariant is enforced by construction.
+    """
+    seg = {name: 0.0 for name in SEGMENT_ORDER}
+    saw_breakdown = False
+    for ev in fs.events:
+        name = ev.get("event")
+        if name == "net.arq_round":
+            saw_breakdown = True
+            data_s = float(ev.get("data_s", 0.0))
+            if int(ev.get("round", 1)) <= 1:
+                seg[SEG_FIRST_TX.name] += data_s
+            else:
+                seg[SEG_ARQ_RETX.name] += data_s
+            seg[SEG_ARQ_FEEDBACK.name] += float(ev.get("overhead_s", 0.0))
+        elif name == "net.arq_deadline":
+            saw_breakdown = True
+            seg[SEG_DEADLINE_WASTE.name] += float(ev.get("wasted_s", 0.0))
+        elif name == "net.fec_tx":
+            saw_breakdown = True
+            seg[SEG_FIRST_TX.name] += float(ev.get("source_s", 0.0))
+            seg[SEG_FEC_REPAIR.name] += float(ev.get("repair_s", 0.0))
+        elif name == "net.beam_switch":
+            saw_breakdown = True
+            seg[SEG_BEAM_SWITCH.name] += float(ev.get("overhead_s", 0.0))
+    airtime = fs.airtime_s
+    if not saw_breakdown:
+        # Ideal (fluid) delivery emits only the outcome event: the whole
+        # latency is one uninterrupted first transmission.
+        seg[SEG_FIRST_TX.name] = airtime
+    # Close the books exactly: push the residual into `unattributed` until
+    # the fsum over all segments equals the recorded latency bit-for-bit.
+    for _ in range(8):
+        diff = airtime - math.fsum(seg.values())
+        if diff == 0.0:
+            break
+        seg[SEG_UNATTRIBUTED.name] += diff
+    return seg
+
+
+def _fold(totals: dict[str, float], seg: Mapping[str, float]) -> None:
+    for name, seconds in seg.items():
+        totals[name] = totals.get(name, 0.0) + seconds
+
+
+def _blame_entry(
+    frames: list[tuple[FrameSpans, dict[str, float]]]
+) -> dict[str, Any]:
+    """Aggregate per-frame attributions into one blame-table row."""
+    totals = {name: 0.0 for name in SEGMENT_ORDER}
+    for _, seg in frames:
+        _fold(totals, seg)
+    airtime = math.fsum(fs.airtime_s for fs, _ in frames)
+    segments = {}
+    for name in SEGMENT_ORDER:
+        seconds = totals[name]
+        segments[name] = {
+            "seconds": seconds,
+            "share": (seconds / airtime) if airtime > 0 else 0.0,
+        }
+    by_layer: dict[str, float] = {}
+    for name in SEGMENT_ORDER:
+        layer = SEGMENTS[name].layer
+        by_layer[layer] = by_layer.get(layer, 0.0) + totals[name]
+    return {
+        "frames": len(frames),
+        "airtime_s": airtime,
+        "segments": segments,
+        "by_layer": {layer: by_layer[layer] for layer in sorted(by_layer)},
+    }
+
+
+def analyze(
+    events: Iterable[Mapping[str, Any]], top: int = 5
+) -> dict[str, Any]:
+    """Full attribution report over a flat trace event list.
+
+    Reconstructs spans, attributes every closed frame attempt, and folds
+    the result into blame tables for all frames, late frames, lost frames,
+    and the late+lost union (``problem``), plus the ``top`` worst frames
+    by delivery latency.  Deterministic: the report is a pure function of
+    the event list.
+    """
+    recon: Reconstruction = reconstruct(events)
+    attributed = [(fs, attribute_frame(fs)) for fs in recon.closed_frames()]
+
+    by_status: dict[str, list[tuple[FrameSpans, dict[str, float]]]] = {
+        "on_time": [], "late": [], "lost": [],
+    }
+    for fs, seg in attributed:
+        by_status[fs.status].append((fs, seg))
+    problem = by_status["late"] + by_status["lost"]
+
+    worst = sorted(
+        attributed,
+        key=lambda pair: (-pair[0].airtime_s, pair[0].key()),
+    )[: max(0, top)]
+
+    num_events = 0
+    for fs in recon.frames:
+        num_events += len(fs.events)
+    num_events += len(recon.unframed)
+
+    return {
+        "schema": "repro.obs.analyze/1",
+        "num_events": num_events,
+        "units": recon.units,
+        "frames": {
+            "total": len(recon.frames),
+            "closed": len(attributed),
+            "incomplete": len(recon.frames) - len(attributed),
+            "on_time": len(by_status["on_time"]),
+            "late": len(by_status["late"]),
+            "lost": len(by_status["lost"]),
+        },
+        "blame": {
+            "all": _blame_entry(attributed),
+            "late": _blame_entry(by_status["late"]),
+            "lost": _blame_entry(by_status["lost"]),
+            "problem": _blame_entry(problem),
+        },
+        "worst_frames": [
+            {
+                "unit": fs.unit,
+                "frame": fs.frame,
+                "occurrence": fs.occurrence,
+                "status": fs.status,
+                "airtime_s": fs.airtime_s,
+                "deadline_s": fs.deadline_s,
+                "lost_users": list(fs.lost_users),
+                "segments": {name: seg[name] for name in SEGMENT_ORDER},
+            }
+            for fs, seg in worst
+        ],
+    }
+
+
+def format_report(report: Mapping[str, Any]) -> str:
+    """Human-readable rendering of an :func:`analyze` report."""
+    from ..experiments.common import format_table
+
+    frames = report["frames"]
+    lines = [
+        f"frames: {frames['total']} total — {frames['on_time']} on time, "
+        f"{frames['late']} late, {frames['lost']} lost"
+        + (
+            f", {frames['incomplete']} incomplete"
+            if frames["incomplete"]
+            else ""
+        ),
+    ]
+    problem = report["blame"]["problem"]
+    scope, entry = (
+        ("late/lost frames", problem)
+        if problem["frames"]
+        else ("all frames", report["blame"]["all"])
+    )
+    lines.append(
+        f"blame over {scope} ({entry['frames']} frame(s), "
+        f"{entry['airtime_s'] * 1e3:.2f} ms of latency):"
+    )
+    rows = []
+    for name in SEGMENT_ORDER:
+        cell = entry["segments"][name]
+        if cell["seconds"] == 0.0:
+            continue
+        rows.append([
+            name,
+            SEGMENTS[name].layer,
+            f"{cell['seconds'] * 1e3:.3f}",
+            f"{cell['share'] * 100:.1f}%",
+        ])
+    lines.append(format_table(["segment", "layer", "ms", "share"], rows))
+    layer_bits = ", ".join(
+        f"{layer} {seconds * 1e3:.3f} ms"
+        for layer, seconds in entry["by_layer"].items()
+        if seconds != 0.0
+    )
+    if layer_bits:
+        lines.append(f"by layer: {layer_bits}")
+    if report["worst_frames"]:
+        lines.append("worst frames by delivery latency:")
+        for row in report["worst_frames"]:
+            deadline = row["deadline_s"]
+            budget = (
+                f" (deadline {deadline * 1e3:.2f} ms)"
+                if deadline is not None
+                else ""
+            )
+            lost = (
+                f", lost users {row['lost_users']}" if row["lost_users"] else ""
+            )
+            lines.append(
+                f"  {row['unit'] or '(no unit)'} frame {row['frame']}"
+                f"#{row['occurrence']}: {row['status']}, "
+                f"{row['airtime_s'] * 1e3:.2f} ms{budget}{lost}"
+            )
+    return "\n".join(lines)

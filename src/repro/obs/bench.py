@@ -1,0 +1,317 @@
+"""``repro bench`` — a perf-trajectory harness for the experiment runner.
+
+Runs registered experiments through the deterministic runner with the
+:class:`~repro.obs.profile.PhaseProfiler` wrapped around the plan /
+execute / merge phases, samples peak RSS, and writes one trajectory point
+as ``BENCH_<n>.json`` (monotonically numbered, so a directory of them is
+a perf history)::
+
+    python -m repro bench loss_sweep table1 --scale small
+    python -m repro bench loss_sweep --compare BENCH_1.json --tolerance 0.2
+
+``--compare`` re-runs the same measurement and exits non-zero when any
+experiment's wall time regressed beyond the tolerance against the
+baseline file — the CI hook that keeps the runner's performance honest
+across PRs.
+
+Measurement uses ``time.perf_counter`` only (monotonic elapsed time; the
+repo's D1xx lint permits it, wall-clock *timestamps* stay banned), and
+the output deliberately carries no timestamp: the trajectory index ``n``
+is the ordering.  Benchmarking never touches experiment results — the
+runner path is exactly the one ``repro run`` uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Mapping
+
+from .profile import PhaseProfiler
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "run_bench",
+    "next_bench_path",
+    "write_bench",
+    "validate_bench",
+    "compare_bench",
+    "main",
+]
+
+BENCH_SCHEMA = "repro.bench/1"
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+_REQUIRED_TOP = ("schema", "scale", "workers", "experiments", "total_wall_s")
+_REQUIRED_EXPERIMENT = (
+    "name", "units", "cached_units", "cache_hit_rate", "wall_s",
+    "units_per_s", "phases",
+)
+
+
+def _peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process, or None if unsupported."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def run_bench(
+    experiment_names: list[str],
+    scale: str = "small",
+    workers: int = 1,
+    use_cache: bool = True,
+    cache_dir: str | None = None,
+) -> dict[str, Any]:
+    """Measure the named experiments; returns a ``repro.bench/1`` document.
+
+    Each experiment goes through the standard decompose → run → merge
+    pipeline with per-phase wall time accumulated by a
+    :class:`PhaseProfiler`; units/sec and the cache hit rate come from the
+    runner's own reports.
+    """
+    from ..runner.cache import ResultCache
+    from ..runner.executor import run_specs
+    from ..runner.registry import get_experiment, resolve_params
+
+    cache = (
+        ResultCache(cache_dir) if use_cache and cache_dir is not None
+        else ResultCache() if use_cache
+        else None
+    )
+    entries: list[dict[str, Any]] = []
+    total_wall = 0.0
+    for name in experiment_names:
+        experiment = get_experiment(name)
+        profiler = PhaseProfiler()
+        with profiler.phase("plan"):
+            params = resolve_params(experiment, None, scale=scale)
+            specs = list(experiment.decompose(params))
+        with profiler.phase("execute"):
+            reports = run_specs(specs, workers=workers, cache=cache)
+        with profiler.phase("merge"):
+            experiment.merge(params, [(r.spec, r.result) for r in reports])
+        wall_s = sum(profiler.wall_s(p) for p in profiler.names())
+        cached = sum(1 for r in reports if r.cached)
+        units = len(specs)
+        entries.append(
+            {
+                "name": name,
+                "units": units,
+                "cached_units": cached,
+                "cache_hit_rate": (cached / units) if units else 0.0,
+                "wall_s": round(wall_s, 6),
+                "units_per_s": round(units / wall_s, 6) if wall_s > 0 else 0.0,
+                "phases": profiler.to_jsonable(),
+            }
+        )
+        total_wall += wall_s
+    doc: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "scale": scale,
+        "workers": workers,
+        "experiments": entries,
+        "total_wall_s": round(total_wall, 6),
+    }
+    peak = _peak_rss_bytes()
+    if peak is not None:
+        doc["peak_rss_bytes"] = peak
+    validate_bench(doc)
+    return doc
+
+
+def next_bench_path(out_dir: Path | str = ".") -> Path:
+    """The next free ``BENCH_<n>.json`` path under ``out_dir`` (n from 1)."""
+    out_dir = Path(out_dir)
+    taken = []
+    if out_dir.is_dir():
+        for child in out_dir.iterdir():
+            match = _BENCH_NAME.match(child.name)
+            if match:
+                taken.append(int(match.group(1)))
+    index = max(taken, default=0) + 1
+    return out_dir / f"BENCH_{index}.json"
+
+
+def write_bench(doc: Mapping[str, Any], out_dir: Path | str = ".") -> Path:
+    """Validate and write one trajectory point; returns its path."""
+    validate_bench(doc)
+    path = next_bench_path(out_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(doc, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def validate_bench(doc: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` listing every schema problem in ``doc``."""
+    problems: list[str] = []
+    if not isinstance(doc, Mapping):
+        raise ValueError("bench document must be a JSON object")
+    for key in _REQUIRED_TOP:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if doc.get("schema") not in (None, BENCH_SCHEMA):
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}"
+        )
+    experiments = doc.get("experiments")
+    if not isinstance(experiments, list):
+        problems.append("'experiments' must be a list")
+        experiments = []
+    for i, entry in enumerate(experiments):
+        if not isinstance(entry, Mapping):
+            problems.append(f"experiments[{i}] must be an object")
+            continue
+        for key in _REQUIRED_EXPERIMENT:
+            if key not in entry:
+                problems.append(f"experiments[{i}] missing key {key!r}")
+        wall = entry.get("wall_s")
+        if isinstance(wall, (int, float)) and wall < 0:
+            problems.append(f"experiments[{i}].wall_s must be non-negative")
+        rate = entry.get("cache_hit_rate")
+        if isinstance(rate, (int, float)) and not 0.0 <= rate <= 1.0:
+            problems.append(
+                f"experiments[{i}].cache_hit_rate must be in [0, 1]"
+            )
+    if problems:
+        raise ValueError("invalid bench document: " + "; ".join(problems))
+
+
+def compare_bench(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = 0.2,
+) -> list[str]:
+    """Wall-time regressions of ``current`` vs. ``baseline``.
+
+    Returns one message per experiment (present in both documents) whose
+    wall time exceeds the baseline's by more than ``tolerance`` (a
+    fraction: 0.2 = 20%).  Empty list = no regression.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    validate_bench(current)
+    validate_bench(baseline)
+    base_by_name = {e["name"]: e for e in baseline["experiments"]}
+    regressions: list[str] = []
+    for entry in current["experiments"]:
+        base = base_by_name.get(entry["name"])
+        if base is None:
+            continue
+        cur_wall = float(entry["wall_s"])
+        base_wall = float(base["wall_s"])
+        if cur_wall > base_wall * (1.0 + tolerance):
+            ratio = cur_wall / base_wall if base_wall > 0 else float("inf")
+            shown = "inf" if ratio == float("inf") else f"{ratio:.2f}x"
+            regressions.append(
+                f"{entry['name']}: wall {cur_wall:.3f}s vs baseline "
+                f"{base_wall:.3f}s ({shown}, tolerance "
+                f"{(1.0 + tolerance):.2f}x)"
+            )
+    return regressions
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro bench`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description=(
+            "Benchmark registered experiments through the deterministic "
+            "runner and write a BENCH_<n>.json perf-trajectory point."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment names to benchmark (default: every registered one)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["default", "small"],
+        default="small",
+        help="parameter scale (default: small — bench is about the runner, "
+             "not the physics)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="parallel worker processes"
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=".",
+        metavar="DIR",
+        help="directory for the BENCH_<n>.json point (default: cwd)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache (hit rate reports as 0)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="a previous BENCH_<n>.json; exit 1 if wall time regressed "
+             "beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional wall-time growth for --compare "
+             "(default: 0.2 = 20%%)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro bench`` (returns a process exit status)."""
+    from ..runner.registry import experiment_names
+
+    args = build_parser().parse_args(argv)
+    names = args.experiments or experiment_names()
+    try:
+        doc = run_bench(
+            names,
+            scale=args.scale,
+            workers=args.workers,
+            use_cache=not args.no_cache,
+        )
+    except KeyError as err:
+        raise SystemExit(str(err)) from None
+    path = write_bench(doc, args.out_dir)
+    for entry in doc["experiments"]:
+        print(
+            f"{entry['name']}: {entry['units']} unit(s) in "
+            f"{entry['wall_s']:.3f}s ({entry['units_per_s']:.2f}/s, "
+            f"cache hit rate {entry['cache_hit_rate'] * 100:.0f}%)"
+        )
+    print(f"bench point written to {path}")
+    if args.compare:
+        try:
+            baseline = json.loads(
+                Path(args.compare).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read baseline {args.compare}: {exc}")
+        regressions = compare_bench(doc, baseline, tolerance=args.tolerance)
+        if regressions:
+            print(f"PERF REGRESSION vs {args.compare}:")
+            for message in regressions:
+                print(f"  {message}")
+            return 1
+        print(f"no regression vs {args.compare} (tolerance {args.tolerance})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,25 @@
-"""``repro trace <experiment>`` — record a structured timeline of one run.
+"""``repro trace`` / ``repro obs`` — record and analyze trace timelines.
 
     python -m repro trace loss_sweep
     python -m repro trace table1 --scale small --out table1.jsonl
-    python -m repro trace loss_sweep --seed 11 --quiet
+    python -m repro trace loss_sweep --layer net --event net.arq_round
+    python -m repro obs analyze loss_sweep-trace.jsonl
+    python -m repro obs check loss_sweep-trace.jsonl --spec slo.json
 
-Runs every work unit of the selected experiment **serially** (a timeline
-interleaved across worker processes would be meaningless), with the trace
-recorder and the metrics registry enabled, then writes the JSON-lines
-timeline and prints the experiment's normal formatted result plus a
-per-layer event summary.  Tracing is result-neutral: the printed result is
-bit-identical to an untraced ``repro run`` of the same specs (asserted by
-``tests/obs/test_equivalence.py``).
+``trace`` runs every work unit of the selected experiment **serially** (a
+timeline interleaved across worker processes would be meaningless), with
+the trace recorder and the metrics registry enabled, then writes the
+JSON-lines timeline and prints the experiment's normal formatted result
+plus a per-layer event summary.  ``--layer``/``--event`` (repeatable)
+restrict which events are *written* — recording stays complete, so the
+filters cannot perturb anything.  Tracing is result-neutral: the printed
+result is bit-identical to an untraced ``repro run`` of the same specs
+(asserted by ``tests/obs/test_equivalence.py``).
+
+``obs analyze`` folds a recorded timeline into per-frame spans and prints
+the deadline critical-path blame table (:mod:`repro.obs.analyze`);
+``obs check`` gates a timeline against a declarative SLO spec
+(:mod:`repro.obs.slo`), exiting non-zero on violation.
 
 Each JSONL record carries the sim time ``t``, a global ``seq`` (total
 order; sim time restarts at 0 for every private transport clock), the
@@ -21,13 +30,14 @@ naming the work unit, and the event's own fields.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from . import metrics
 from .trace import recording
 
-__all__ = ["main"]
+__all__ = ["main", "obs_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the formatted experiment result (still prints the summary)",
     )
+    parser.add_argument(
+        "--layer",
+        action="append",
+        default=None,
+        metavar="LAYER",
+        help="only write events from this layer (repeatable; e.g. net, mac)",
+    )
+    parser.add_argument(
+        "--event",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="only write events of this type (repeatable; "
+             "e.g. net.arq_round)",
+    )
     return parser
 
 
@@ -110,19 +135,148 @@ def main(argv: list[str] | None = None) -> int:
         print(experiment.format_result(merged))
         print()
 
+    recorded = len(recorder)
+    if args.layer or args.event:
+        layers = set(args.layer or ())
+        names = set(args.event or ())
+        recorder.events = [
+            ev
+            for ev in recorder.events
+            if (not layers or ev.layer in layers)
+            and (not names or ev.event in names)
+        ]
     recorder.write_jsonl(out_path)
     per_layer = ", ".join(
         f"{layer} {count}" for layer, count in recorder.layer_counts().items()
     )
+    filtered = (
+        f" ({recorded - len(recorder)} filtered out)"
+        if len(recorder) != recorded
+        else ""
+    )
     print(
         f"trace: {len(recorder)} event(s) from {len(specs)} unit(s) "
-        f"written to {out_path}"
+        f"written to {out_path}{filtered}"
     )
     print(f"layers: {per_layer or '(none)'}")
     if args.metrics_out:
         metrics.write_snapshot(args.metrics_out, snap)
         print(f"metrics written to {args.metrics_out}")
     return 0
+
+
+def build_obs_parser() -> argparse.ArgumentParser:
+    """The ``repro obs`` argument parser (analyze / check subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description=(
+            "Analyze recorded trace timelines: span reconstruction, "
+            "deadline critical-path attribution, and SLO gating."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze_p = sub.add_parser(
+        "analyze",
+        help="per-frame latency attribution and blame table",
+        description=(
+            "Fold a trace into per-frame spans and attribute each frame's "
+            "end-to-end latency to named layer segments."
+        ),
+    )
+    analyze_p.add_argument(
+        "trace", metavar="TRACE", help="a repro trace JSONL file"
+    )
+    analyze_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the full canonical report as JSON",
+    )
+    analyze_p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="worst frames to list (default: 5)",
+    )
+    analyze_p.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the human-readable report (JSON output only)",
+    )
+
+    check_p = sub.add_parser(
+        "check",
+        help="gate a trace against a declarative SLO spec",
+        description=(
+            "Evaluate every SLO in the spec file against the trace; exit "
+            "non-zero when any bound is violated."
+        ),
+    )
+    check_p.add_argument(
+        "trace", metavar="TRACE", help="a repro trace JSONL file"
+    )
+    check_p.add_argument(
+        "--spec",
+        required=True,
+        metavar="PATH",
+        help="JSON SLO spec ({'slos': [{'metric': ..., 'max'|'min': ...}]})",
+    )
+    check_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the per-SLO results as JSON",
+    )
+    return parser
+
+
+def obs_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro obs`` (returns a process exit status)."""
+    from .analyze import analyze, format_report
+    from .slo import evaluate_spec, format_results, load_spec, results_jsonable
+    from .spans import load_events, reconstruct
+
+    args = build_obs_parser().parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read trace {args.trace}: {exc}") from None
+
+    if args.command == "analyze":
+        report = analyze(events, top=args.top)
+        if not args.quiet:
+            print(format_report(report))
+        if args.json:
+            path = Path(args.json)
+            if path.parent != Path(""):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(report, sort_keys=True, separators=(",", ":"))
+                + "\n",
+                encoding="utf-8",
+            )
+            print(f"report written to {path}")
+        return 0
+
+    # args.command == "check"
+    try:
+        entries = load_spec(args.spec)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read spec {args.spec}: {exc}") from None
+    results = evaluate_spec(entries, reconstruct(events))
+    print(format_results(results))
+    if args.json:
+        path = Path(args.json)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(results_jsonable(results), sort_keys=True, indent=1)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"results written to {path}")
+    return 0 if all(r.ok for r in results) else 1
 
 
 if __name__ == "__main__":

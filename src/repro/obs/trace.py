@@ -44,12 +44,41 @@ __all__ = [
     "TraceEventType",
     "TraceRecorder",
     "EVENT_TYPES",
+    "CORRELATION_FIELDS",
+    "correlation",
     "event_type",
     "install",
     "uninstall",
     "active",
     "recording",
 ]
+
+# The cross-layer join keys: every tap that knows one of these attaches it,
+# so span reconstruction (repro.obs.spans) joins events structurally instead
+# of guessing from emission order.  ``unit`` is ambient recorder context (the
+# RunSpec key, set by the trace CLI); the rest are per-event fields.
+CORRELATION_FIELDS = ("unit", "frame", "user", "users")
+
+
+def correlation(
+    frame: int | None = None,
+    user: int | None = None,
+    users: tuple[int, ...] | None = None,
+) -> dict[str, Any]:
+    """Correlation fields for an ``emit`` call, omitting the unknown ones.
+
+    Taps deep in the stack (ARQ rounds, FEC blocks) receive the frame index
+    and receiver ids as optional pass-through arguments; this keeps the
+    "include only what the caller knows" convention in one place.
+    """
+    fields: dict[str, Any] = {}
+    if frame is not None:
+        fields["frame"] = int(frame)
+    if user is not None:
+        fields["user"] = int(user)
+    if users is not None:
+        fields["users"] = [int(u) for u in users]
+    return fields
 
 
 @dataclass(frozen=True)

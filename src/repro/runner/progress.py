@@ -74,6 +74,13 @@ class TimingSummary:
         """Summed per-unit compute time (= serial cost of the cache misses)."""
         return sum(r.elapsed_s for r in self.reports)
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of work units served from the result cache (0.0-1.0)."""
+        if not self.reports:
+            return 0.0
+        return sum(1 for r in self.reports if r.cached) / len(self.reports)
+
     def format(self) -> str:
         from ..experiments.common import format_table
 
@@ -97,6 +104,7 @@ class TimingSummary:
             "workers": self.workers,
             "wall_s": round(self.wall_s, 6),
             "compute_s": round(self.compute_s, 6),
+            "cache_hit_rate": round(self.cache_hit_rate, 6),
             "phases": self.profiler.to_jsonable(),
             "experiments": self.by_experiment(),
             "runs": [

@@ -85,6 +85,62 @@ def test_trace_subcommand_routed_from_main_cli(tmp_path, capsys):
     assert "trace:" in capsys.readouterr().out
 
 
+def test_trace_cli_layer_filter_restricts_written_events(tmp_path, capsys):
+    out = tmp_path / "net-only.jsonl"
+    assert (
+        trace_main(
+            ["loss_sweep", "--scale", "small", "--out", str(out),
+             "--quiet", "--layer", "net"]
+        )
+        == 0
+    )
+    printed = capsys.readouterr().out
+    assert "filtered out" in printed
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert records and all(r["layer"] == "net" for r in records)
+
+
+def test_trace_cli_event_filter_composes_with_layer(tmp_path):
+    out = tmp_path / "outcomes.jsonl"
+    assert (
+        trace_main(
+            ["loss_sweep", "--scale", "small", "--out", str(out), "--quiet",
+             "--layer", "net", "--event", "net.frame_outcome"]
+        )
+        == 0
+    )
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert records
+    assert {r["event"] for r in records} == {"net.frame_outcome"}
+
+
+def test_obs_and_bench_subcommands_routed_from_main_cli(tmp_path, capsys,
+                                                        monkeypatch):
+    trace_path = tmp_path / "t.jsonl"
+    assert repro_main(["trace", "loss_sweep", "--scale", "small",
+                       "--out", str(trace_path), "--quiet"]) == 0
+    capsys.readouterr()
+    assert repro_main(["obs", "analyze", str(trace_path), "--top", "1"]) == 0
+    assert "blame over" in capsys.readouterr().out
+
+    spec = tmp_path / "slo.json"
+    spec.write_text(
+        json.dumps({"slos": [{"metric": "frame_loss_rate", "max": 0.99}]}),
+        encoding="utf-8",
+    )
+    assert repro_main(
+        ["obs", "check", str(trace_path), "--spec", str(spec)]
+    ) == 0
+    assert "SLO check: PASS" in capsys.readouterr().out
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert repro_main(
+        ["bench", "fig3d", "--scale", "small", "--out-dir", str(tmp_path)]
+    ) == 0
+    assert "bench point written to" in capsys.readouterr().out
+    assert (tmp_path / "BENCH_1.json").exists()
+
+
 def test_run_metrics_out_round_trip(tmp_path, capsys):
     path = tmp_path / "metrics.json"
     status = runner_main(

@@ -59,3 +59,47 @@ def test_results_identical_with_and_without_tracing(name):
     merged_plain = experiment.merge(params, plain)
     merged_instr = experiment.merge(params, instrumented)
     assert canonical_json(merged_plain) == canonical_json(merged_instr)
+
+
+def test_offline_analysis_is_result_neutral():
+    """analyze/attribution is a pure reader: it never perturbs a later run."""
+    import copy
+
+    from repro.obs.analyze import analyze
+
+    experiment = get_experiment("loss_sweep")
+    params = resolve_params(experiment, scale="small")
+    specs = list(experiment.decompose(params))
+
+    first, recorder = _run_instrumented(experiment, specs)
+    events = [ev.to_jsonable() for ev in recorder.events]
+    pristine = copy.deepcopy(events)
+    report = analyze(events)
+    assert report["frames"]["closed"] > 0
+    # The analyzer must not mutate its input events...
+    assert events == pristine
+    # ...nor leave state behind that changes a subsequent instrumented run.
+    second, _ = _run_instrumented(experiment, specs)
+    for (spec, a), (_, b) in zip(first, second):
+        assert canonical_json(a) == canonical_json(b), (
+            f"{spec.key()} changed after running the analyzer"
+        )
+
+
+def test_bench_harness_is_result_neutral(tmp_path):
+    """`repro bench` runs the exact runner path: results stay bit-identical."""
+    from repro.obs.bench import run_bench
+    from repro.runner import run_specs
+
+    experiment = get_experiment("fig3d")
+    params = resolve_params(experiment, scale="small")
+    specs = list(experiment.decompose(params))
+    plain = _run_plain(experiment, specs)
+
+    run_bench(["fig3d"], scale="small", cache_dir=str(tmp_path / "cache"))
+
+    after = [(r.spec, r.result) for r in run_specs(specs, cache=None)]
+    for (spec, a), (_, b) in zip(plain, after):
+        assert canonical_json(a) == canonical_json(b), (
+            f"{spec.key()} changed after benchmarking"
+        )

@@ -135,6 +135,15 @@ def test_merge_snapshots_does_not_mutate_inputs():
     assert a["c"]["value"] == 2 and b["c"]["value"] == 3
 
 
+def test_merge_snapshots_rejects_mismatched_histogram_edges():
+    reg = MetricsRegistry()
+    reg.enable()
+    reg.histogram("h", edges=[1.0, 3.0]).observe(0.5)
+    other = reg.snapshot()
+    with pytest.raises(ValueError, match="histogram 'h' edges differ"):
+        merge_snapshots([_snap(h=[0.5]), other])
+
+
 def test_merge_snapshots_rejects_kind_clash():
     bad = {"c": {"kind": "gauge", "unit": "", "layer": "", "value": 1.0}}
     with pytest.raises(ValueError):

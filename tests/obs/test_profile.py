@@ -1,0 +1,71 @@
+"""PhaseProfiler: accumulation, nesting, re-entrancy, error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.profile import PhaseProfiler
+
+
+def test_add_accumulates_wall_time_and_counts():
+    p = PhaseProfiler()
+    p.add("plan", 0.25)
+    p.add("plan", 0.5)
+    p.add("merge", 0.125)
+    assert p.wall_s("plan") == pytest.approx(0.75)
+    assert p.wall_s("never") == 0.0
+    assert p.names() == ["merge", "plan"]
+    doc = p.to_jsonable()
+    assert doc["plan"]["count"] == 2 and doc["merge"]["count"] == 1
+
+
+def test_add_rejects_negative_time():
+    with pytest.raises(ValueError, match="non-negative"):
+        PhaseProfiler().add("plan", -0.001)
+
+
+def test_phase_context_is_re_entrant():
+    # Entering the same phase repeatedly accumulates: one bucket, n counts.
+    p = PhaseProfiler()
+    for _ in range(3):
+        with p.phase("execute"):
+            pass
+    assert p.to_jsonable()["execute"]["count"] == 3
+    assert p.wall_s("execute") >= 0.0
+
+
+def test_nested_distinct_phases_both_accrue():
+    p = PhaseProfiler()
+    with p.phase("outer"):
+        with p.phase("inner"):
+            pass
+    doc = p.to_jsonable()
+    assert doc["outer"]["count"] == 1 and doc["inner"]["count"] == 1
+    # The outer phase spans the inner one, so its wall time includes it.
+    assert p.wall_s("outer") >= p.wall_s("inner")
+
+
+def test_nested_same_phase_credits_both_entries():
+    # Recursive use of one phase name must not lose or corrupt either
+    # timing: each exit credits its own elapsed interval.
+    p = PhaseProfiler()
+    with p.phase("work"):
+        with p.phase("work"):
+            pass
+    assert p.to_jsonable()["work"]["count"] == 2
+
+
+def test_phase_credits_time_when_the_block_raises():
+    p = PhaseProfiler()
+    with pytest.raises(RuntimeError):
+        with p.phase("doomed"):
+            raise RuntimeError("boom")
+    assert p.to_jsonable()["doomed"]["count"] == 1
+
+
+def test_format_lines():
+    p = PhaseProfiler()
+    assert p.format() == "phases: (none)"
+    p.add("plan", 1.0)
+    p.add("execute", 2.0)
+    assert p.format() == "phases: execute 2.00s · plan 1.00s"

@@ -1,0 +1,203 @@
+"""Span reconstruction: structural joins, occurrences, annotations."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    SPAN_TYPES,
+    Reconstruction,
+    load_events,
+    reconstruct,
+    span_type,
+)
+
+
+def _ev(seq, event, layer="net", t=0.0, **fields):
+    return {"t": t, "seq": seq, "layer": layer, "event": event, **fields}
+
+
+def test_span_catalog_is_declared_at_module_scope():
+    # The catalog must be populated by importing the module, like the
+    # trace-event catalog — docs generation depends on it.
+    assert {
+        "net.frame_delivery", "net.unit_tx", "net.arq_round",
+        "net.arq_waste", "net.fec_block", "mac.beam_switch",
+        "core.frame_lifetime",
+    } <= set(SPAN_TYPES)
+    for declared in SPAN_TYPES.values():
+        assert declared.help, f"span {declared.name} needs help text"
+
+
+def test_span_type_declaration_is_idempotent():
+    first = SPAN_TYPES["net.frame_delivery"]
+    again = span_type("net.frame_delivery", layer="other")
+    assert again is first and again.layer == "net"
+
+
+def test_events_without_frame_land_in_unframed():
+    recon = reconstruct([
+        _ev(0, "mac.frame_plan", layer="mac", users=3),
+        _ev(1, "core.adaptation_decision", layer="core", user=0),
+    ])
+    assert recon.frames == []
+    assert len(recon.unframed) == 2
+
+
+def test_frame_outcome_closes_the_group():
+    recon = reconstruct([
+        _ev(0, "net.unit_tx", unit="u", frame=0, airtime_s=0.01, t=0.01),
+        _ev(1, "net.frame_outcome", unit="u", frame=0, airtime_s=0.01,
+            t=0.01, delivered_users=[0], lost_users=[], deadline_s=0.03),
+    ])
+    (fs,) = recon.frames
+    assert fs.closed and fs.unit == "u" and fs.frame == 0
+    assert fs.status == "on_time"
+    assert fs.airtime_s == 0.01 and fs.deadline_s == 0.03
+    assert fs.delivered_users == (0,) and fs.lost_users == ()
+
+
+def test_repeated_frame_indices_split_into_occurrences():
+    # The loss sweep replays the same frame indices at every loss point:
+    # a second net.frame_outcome for frame 0 must open occurrence 1, never
+    # merge into occurrence 0.
+    events = []
+    for occurrence in range(3):
+        base = occurrence * 2
+        events.append(
+            _ev(base, "net.unit_tx", unit="u", frame=0, airtime_s=0.01)
+        )
+        events.append(
+            _ev(base + 1, "net.frame_outcome", unit="u", frame=0,
+                airtime_s=0.01, delivered_users=[0], lost_users=[])
+        )
+    recon = reconstruct(events)
+    assert [fs.occurrence for fs in recon.frames] == [0, 1, 2]
+    assert all(fs.closed and len(fs.events) == 2 for fs in recon.frames)
+
+
+def test_same_frame_in_different_units_never_joins():
+    recon = reconstruct([
+        _ev(0, "net.frame_outcome", unit="a", frame=0, airtime_s=0.01,
+            delivered_users=[0], lost_users=[]),
+        _ev(1, "net.frame_outcome", unit="b", frame=0, airtime_s=0.02,
+            delivered_users=[0], lost_users=[]),
+    ])
+    assert [(fs.unit, fs.occurrence) for fs in recon.frames] == [
+        ("a", 0), ("b", 0),
+    ]
+    assert recon.units == ["a", "b"]
+
+
+def test_annotation_events_join_the_closed_occurrence():
+    # core.qoe_sample fires after the outcome; it must annotate the closed
+    # attempt, not open a phantom occurrence that swallows the next one.
+    recon = reconstruct([
+        _ev(0, "net.frame_outcome", unit="u", frame=0, airtime_s=0.01,
+            delivered_users=[0], lost_users=[]),
+        _ev(1, "core.qoe_sample", layer="core", unit="u", frame=0,
+            user=-1, fps=30.0),
+        _ev(2, "net.frame_outcome", unit="u", frame=0, airtime_s=0.02,
+            delivered_users=[0], lost_users=[]),
+    ])
+    assert len(recon.frames) == 2
+    first, second = recon.frames
+    assert len(first.events) == 2  # outcome + qoe annotation
+    assert second.occurrence == 1 and len(second.events) == 1
+
+
+def test_frame_played_adds_a_lifetime_span():
+    recon = reconstruct([
+        _ev(0, "net.frame_outcome", unit="u", frame=4, airtime_s=0.01,
+            t=0.15, delivered_users=[2], lost_users=[]),
+        _ev(1, "core.frame_played", layer="core", unit="u", frame=4,
+            user=2, t=0.40, on_time=True, quality="high"),
+    ])
+    (fs,) = recon.frames
+    lifetimes = [s for s in fs.spans if s.type == "core.frame_lifetime"]
+    (span,) = lifetimes
+    assert span.user == 2
+    assert span.start_t == 0.15 and span.end_t == 0.40
+    assert span.duration_s == pytest.approx(0.25)
+    assert span.attrs["on_time"] is True
+
+
+def test_spans_derive_durations_from_event_fields():
+    recon = reconstruct([
+        _ev(0, "net.arq_round", unit="u", frame=0, t=0.010, round=1,
+            packets=5, cost_s=0.010, data_s=0.008, overhead_s=0.002,
+            pending_receivers=1, users=[0, 1]),
+        _ev(1, "net.arq_deadline", unit="u", frame=0, t=0.033, round=2,
+            wasted_s=0.003, pending_receivers=1, users=[0, 1]),
+        _ev(2, "net.unit_tx", unit="u", frame=0, t=0.033, scheme="arq",
+            packets=5, receivers=2, delivered=1, airtime_s=0.013,
+            users=[0, 1]),
+        _ev(3, "net.frame_outcome", unit="u", frame=0, t=0.033,
+            airtime_s=0.013, delivered_users=[0], lost_users=[1],
+            deadline_s=0.033),
+    ])
+    (fs,) = recon.frames
+    by_type = {s.type: s for s in fs.spans}
+    assert by_type["net.arq_round"].duration_s == pytest.approx(0.010)
+    assert by_type["net.arq_round"].users == (0, 1)
+    assert by_type["net.arq_waste"].duration_s == pytest.approx(0.003)
+    assert by_type["net.unit_tx"].duration_s == pytest.approx(0.013)
+    assert by_type["net.frame_delivery"].duration_s == pytest.approx(0.013)
+    assert fs.status == "lost"
+
+
+def test_span_to_jsonable_omits_unknowns_and_sorts_attrs():
+    recon = reconstruct([
+        _ev(0, "net.beam_switch", unit="u", frame=0, t=0.002,
+            overhead_s=0.002),
+    ])
+    (span,) = recon.frames[0].spans
+    doc = span.to_jsonable()
+    assert doc == {
+        "type": "mac.beam_switch", "start_t": 0.0, "end_t": 0.002, "frame": 0,
+    }
+
+
+def test_reconstruct_sorts_by_seq():
+    shuffled = [
+        _ev(1, "net.frame_outcome", unit="u", frame=0, airtime_s=0.01,
+            delivered_users=[0], lost_users=[]),
+        _ev(0, "net.unit_tx", unit="u", frame=0, airtime_s=0.01),
+    ]
+    recon = reconstruct(shuffled)
+    (fs,) = recon.frames
+    assert [ev["seq"] for ev in fs.events] == [0, 1]
+
+
+def test_load_events_round_trip(tmp_path):
+    path = tmp_path / "t.jsonl"
+    records = [_ev(0, "net.unit_tx", frame=0), _ev(1, "net.frame_outcome")]
+    path.write_text(
+        "\n".join(json.dumps(r) for r in records) + "\n", encoding="utf-8"
+    )
+    assert load_events(path) == records
+
+
+def test_load_events_reports_the_bad_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"seq": 0}\nnot json\n', encoding="utf-8")
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        load_events(path)
+
+
+def test_reconstruction_is_deterministic():
+    events = [
+        _ev(0, "net.unit_tx", unit="u", frame=0, airtime_s=0.01),
+        _ev(1, "net.frame_outcome", unit="u", frame=0, airtime_s=0.01,
+            delivered_users=[0], lost_users=[]),
+    ]
+    a: Reconstruction = reconstruct(events)
+    b: Reconstruction = reconstruct(events)
+    assert [fs.key() for fs in a.frames] == [fs.key() for fs in b.frames]
+    assert [
+        [s.to_jsonable() for s in fs.spans] for fs in a.frames
+    ] == [
+        [s.to_jsonable() for s in fs.spans] for fs in b.frames
+    ]

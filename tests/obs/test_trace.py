@@ -132,3 +132,23 @@ def test_jsonl_round_trip(tmp_path):
     }
     # Envelope keys lead every record, in a fixed order.
     assert list(first)[:4] == ["t", "seq", "layer", "event"]
+
+
+def test_write_jsonl_creates_missing_parent_dirs(tmp_path):
+    with recording() as recorder:
+        _EV_TEST.emit(t=0.0, n=1)
+    target = tmp_path / "a" / "b" / "c" / "out.jsonl"
+    assert not target.parent.exists()
+    path = recorder.write_jsonl(target)
+    assert path == target and target.is_file()
+    assert json.loads(target.read_text().splitlines()[0])["n"] == 1
+
+
+def test_correlation_helper_drops_unset_fields():
+    assert trace.correlation() == {}
+    assert trace.correlation(frame=3) == {"frame": 3}
+    assert trace.correlation(frame=0, user=0, users=[2, 1]) == {
+        "frame": 0, "user": 0, "users": [2, 1],
+    }
+    # The declared correlation field names are what spans join on.
+    assert trace.CORRELATION_FIELDS == ("unit", "frame", "user", "users")

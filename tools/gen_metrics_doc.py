@@ -94,6 +94,11 @@ def _escape(text: str) -> str:
 def render() -> str:
     """Render the full METRICS.md content (deterministic, newline-terminated)."""
     metrics, events = _attributed_catalog()
+    from repro.obs.analyze import SEGMENT_ORDER, SEGMENTS
+    from repro.obs.slo import SLO_METRICS
+    from repro.obs.spans import SPAN_TYPES
+    from repro.obs.trace import CORRELATION_FIELDS
+
     lines = [HEADER]
 
     lines.append("## Metrics\n")
@@ -126,6 +131,68 @@ def render() -> str:
             f"| `{e['name']}` | {e['layer']} | {fields} "
             f"| `{e['module']}` | {_escape(e['help'])} |"
         )
+
+    lines.append("\n## Correlation fields\n")
+    lines.append(
+        "Span reconstruction (`repro obs analyze`) joins events into "
+        "per-frame groups *structurally*, on the declared correlation "
+        "fields — never heuristically.  Instrumented taps attach every "
+        "correlation field they know:"
+    )
+    lines.append("")
+    corr_help = {
+        "unit": "the RunSpec key of the work unit, set as ambient recorder "
+                "context by the trace CLI; present on every record",
+        "frame": "the frame index this event contributes to (frame indices "
+                 "repeat within a unit; a `net.frame_outcome` closes one "
+                 "*occurrence* and later events open the next)",
+        "user": "the single user id an event concerns (e.g. playback taps)",
+        "users": "the receiver/member user ids of a transmission unit",
+    }
+    lines.append("| field | meaning |")
+    lines.append("|---|---|")
+    for name in CORRELATION_FIELDS:
+        lines.append(f"| `{name}` | {_escape(corr_help[name])} |")
+
+    lines.append("\n## Reconstructed spans\n")
+    lines.append(
+        f"{len(SPAN_TYPES)} declared span type(s), derived from recorded "
+        "events by `repro.obs.spans` (durations come from the events' own "
+        "duration fields, never from cross-tap timestamp subtraction)."
+    )
+    lines.append("")
+    lines.append("| name | layer | description |")
+    lines.append("|---|---|---|")
+    for name in sorted(SPAN_TYPES):
+        s = SPAN_TYPES[name].describe()
+        lines.append(f"| `{s['name']}` | {s['layer']} | {_escape(s['help'])} |")
+
+    lines.append("\n## Attribution segments\n")
+    lines.append(
+        f"{len(SEGMENTS)} blame segment(s) used by `repro obs analyze` "
+        "(`repro.obs.analyze`).  Per frame, the segment seconds sum "
+        "*exactly* to the frame's end-to-end delivery latency — the "
+        "`unattributed` residual keeps the books closed."
+    )
+    lines.append("")
+    lines.append("| name | layer | description |")
+    lines.append("|---|---|---|")
+    for name in SEGMENT_ORDER:
+        s = SEGMENTS[name].describe()
+        lines.append(f"| `{s['name']}` | {s['layer']} | {_escape(s['help'])} |")
+
+    lines.append("\n## SLO metrics\n")
+    lines.append(
+        f"{len(SLO_METRICS)} service-level metric(s) computable from a "
+        "recorded trace, gated by `repro obs check <trace> --spec "
+        "<spec.json>` (`repro.obs.slo`)."
+    )
+    lines.append("")
+    lines.append("| name | unit | description |")
+    lines.append("|---|---|---|")
+    for name in sorted(SLO_METRICS):
+        s = SLO_METRICS[name].describe()
+        lines.append(f"| `{s['name']}` | {s['unit']} | {_escape(s['help'])} |")
     lines.append("")
     return "\n".join(lines)
 

@@ -66,6 +66,90 @@ python -m repro run all --scale small           # quick CI-sized configs
 """
 
 
+# Static documentation for the observability tooling; kept here (not only
+# in EXPERIMENTS.md) for the same no-drift reason as RUNNER_SECTION.
+OBS_SECTION = """\
+## Observability — tracing and metrics around a run
+
+Any experiment can be run with the `repro.obs` instrumentation on; the
+results are bit-identical either way (asserted by
+`tests/obs/test_equivalence.py`), so tracing is safe to reach for
+whenever a number looks off.
+
+```bash
+# A sim-time-ordered JSON-lines timeline of one experiment:
+python -m repro trace loss_sweep --scale small --out loss.jsonl
+# → events from every layer, e.g.
+#   {"t": 0.984, "seq": 83124, "layer": "core", "event": "core.qoe_sample",
+#    "unit": "loss_sweep/loss=0.05/seed=7", "user": 2, "fps": 28}
+
+# Merged per-layer counters/histograms over a whole run:
+python -m repro run table1 --scale small --metrics-out table1-metrics.json
+
+# Wall-time attribution (per phase and per work unit), CI-archived:
+python -m repro figures --parallel 4 --timings runner-timings.json
+```
+
+Useful slices of a trace (`jq`-style): `net.frame_outcome` rows give
+per-frame airtime/loss/ARQ rounds; `mac.frame_plan` shows who shared a
+multicast beam; `core.adaptation_decision` shows every quality move and
+the throughput estimate that caused it; the `sim.*` counters in a
+metrics snapshot give event-queue volume per experiment.  The complete
+catalog — every metric (name, kind, unit, layer, declaring module) and
+every trace event with its fields — is generated into
+`docs/METRICS.md` and verified in CI by
+`python tools/gen_metrics_doc.py --check`.
+
+### Worked example — why does the loss sweep drop frames at high loss?
+
+The loss-sweep table says *that* ARQ collapses as packet loss grows
+while FEC holds on; the analysis tier shows *why*, from the trace alone
+— no simulator re-run:
+
+```bash
+python -m repro trace loss_sweep --scale small --quiet --out loss.jsonl
+python -m repro obs analyze loss.jsonl --top 3
+```
+
+```
+frames: 144 total — 114 on time, 0 late, 30 lost
+blame over late/lost frames (30 frame(s), 1000.00 ms of latency):
+segment         layer  ms       share
+--------------  -----  -------  -----
+first_tx        net    800.000  80.0%
+arq_feedback    mac    14.400   1.4%
+fec_repair      net    80.000   8.0%
+deadline_waste  net    105.600  10.6%
+by layer: mac 14.400 ms, net 985.600 ms
+```
+
+Every lost frame burned its whole 33.3 ms deadline, and the blame table
+names the thief per layer: the first transmission already eats 80% of a
+lost frame's budget (high-quality frames barely fit the deadline at
+these airtime fractions), so at 10–20% loss there is no slack left for
+recovery — ARQ's retransmission rounds get cut short by the deadline
+(`deadline_waste`, 10.6%: airtime that delivered nothing) plus the MAC
+pays per-member block-ACK feedback (`arq_feedback`), while FEC's
+up-front repair PDUs (`fec_repair`) are the cheaper insurance, which is
+exactly the goodput crossover the sweep table shows.  The worst-frames
+list (`--top`) pins the offenders to their work unit, frame index, and
+delivery occurrence; per frame, the segment milliseconds sum *exactly*
+to the frame's end-to-end latency (asserted with `==` in
+`tests/obs/test_analyze.py`).
+
+Two gates build on the same machinery:
+
+```bash
+# Declarative SLOs over a trace (CI runs tools/ci_slo.json; exit 1 on violation):
+python -m repro obs check loss.jsonl --spec tools/ci_slo.json
+
+# A BENCH_<n>.json perf-trajectory point; exit 1 on wall-time regression:
+python -m repro bench loss_sweep fig3d --scale small
+python -m repro bench loss_sweep fig3d --scale small --compare BENCH_1.json
+```
+"""
+
+
 def block(lines: list[str]) -> str:
     return "\n".join(lines)
 
@@ -84,6 +168,7 @@ def main() -> None:
         "anchors).\n"
     )
     parts.append(RUNNER_SECTION)
+    parts.append(OBS_SECTION)
 
     # ---------------------------------------------------------- Table 1 ----
     print("Table 1 ...")
