@@ -221,9 +221,80 @@ class SetIterationRule(Rule):
         self.generic_visit(node)
 
 
+# Identifier tokens that mark a dict as shard/room/AP-keyed.  Matching is
+# per underscore-separated token, so `by_room` and `shard_results` hit but
+# `maps` and `shape` don't.
+_SHARD_TOKENS = frozenset(
+    {"shard", "shards", "room", "rooms", "ap", "aps"}
+)
+_DICT_ITER_METHODS = ("items", "keys", "values")
+
+
+def _shardish_name(name: str) -> bool:
+    return bool(_SHARD_TOKENS & set(name.lower().split("_")))
+
+
+class ShardDictIterationRule(Rule):
+    """D105: flags unsorted iteration over shard/room/AP-keyed dicts.
+
+    Dict iteration follows insertion order, and for dicts keyed by shard,
+    room, or AP the insertion order is exactly what sharding changes —
+    which worker finished first, which shard a room landed in.  Results
+    folded out of such an iteration silently depend on the partition;
+    ``sorted(...)`` restores the venue order the merge contract promises.
+    """
+
+    rule_id = "D105"
+    family = "determinism"
+    summary = (
+        "iterate shard/room/AP-keyed dicts via sorted(...), not "
+        "insertion order"
+    )
+
+    def _base_name(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def _flag_if_shardish(self, iter_node: ast.expr, where: str) -> None:
+        if not isinstance(iter_node, ast.Call) or iter_node.args:
+            return
+        func = iter_node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DICT_ITER_METHODS
+        ):
+            return
+        name = self._base_name(func.value)
+        if name is not None and _shardish_name(name):
+            self.report(
+                iter_node,
+                f"`{name}.{func.attr}()` iterates a shard/room-keyed dict "
+                f"in insertion order {where}; insertion order follows the "
+                "shard partition, so wrap it in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_if_shardish(node.iter, "in a for-loop")
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._flag_if_shardish(gen.iter, "in a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_SetComp = _visit_comp
+
+
 DETERMINISM_RULES = (
     WallClockRule,
     UnseededRngRule,
     GlobalRngRule,
     SetIterationRule,
+    ShardDictIterationRule,
 )

@@ -209,6 +209,10 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "scenario":
+        from .scenario.cli import main as scenario_main
+
+        return scenario_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

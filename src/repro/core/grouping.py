@@ -23,10 +23,12 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..mac.scheduler import FramePlan, UserDemand, plan_frame
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
-from .similarity import group_iou
+from .similarity import group_iou  # noqa: F401  (scalar reference, re-exported)
 
 __all__ = [
     "GroupingResult",
@@ -103,6 +105,47 @@ def _visibility_map(demand: UserDemand) -> frozenset:
     return frozenset(demand.cell_bytes)
 
 
+def _member_rows(
+    demand_list: list[UserDemand],
+) -> tuple[dict[int, np.ndarray], int]:
+    """One boolean membership row per user over the sorted cell universe."""
+    universe = sorted({c for d in demand_list for c in d.cell_bytes})
+    index = {cell: i for i, cell in enumerate(universe)}
+    rows: dict[int, np.ndarray] = {}
+    for d in demand_list:
+        row = np.zeros(len(universe), dtype=bool)
+        if d.cell_bytes:
+            row[[index[cell] for cell in d.cell_bytes]] = True
+        rows[d.user_id] = row
+    return rows, len(universe)
+
+
+def _group_iou_matrix(
+    groups: list[tuple[int, ...]],
+    rows: dict[int, np.ndarray],
+    num_cells: int,
+) -> np.ndarray:
+    """IoU of every merged group pair, as a symmetric (G, G) matrix.
+
+    Entry (a, b) equals ``group_iou`` over the member maps of ``a`` and
+    ``b`` combined, bit-identically: intersection/union member counts are
+    exact integers and the final division matches the scalar
+    ``len(inter) / len(union)``.
+    """
+    inter_rows = np.empty((len(groups), num_cells), dtype=bool)
+    union_rows = np.empty((len(groups), num_cells), dtype=bool)
+    for gi, g in enumerate(groups):
+        stacked = [rows[u] for u in g]
+        inter_rows[gi] = np.logical_and.reduce(stacked)
+        union_rows[gi] = np.logical_or.reduce(stacked)
+    ii = inter_rows.astype(np.int64)
+    uu = union_rows.astype(np.int64)
+    inter_count = ii @ ii.T
+    union_sizes = uu.sum(axis=1)
+    union_count = union_sizes[:, None] + union_sizes[None, :] - uu @ uu.T
+    return np.where(union_count > 0, inter_count / np.maximum(union_count, 1), 1.0)
+
+
 def greedy_similarity_grouping(
     demands: Sequence[UserDemand],
     multicast_rate_fn: RateFn,
@@ -123,8 +166,8 @@ def greedy_similarity_grouping(
     multicasting nearly-disjoint viewports only adds beam complexity.
     """
     demand_list = list(demands)
-    by_id = {d.user_id: d for d in demand_list}
     groups: list[tuple[int, ...]] = [(d.user_id,) for d in demand_list]
+    rows, num_cells = _member_rows(demand_list)
 
     def plan_for(partition: list[tuple[int, ...]]) -> FramePlan:
         multicast_groups = [
@@ -136,14 +179,12 @@ def greedy_similarity_grouping(
     improved = True
     while improved and len(groups) > 1:
         improved = False
+        iou_matrix = _group_iou_matrix(groups, rows, num_cells)
         candidates = []
-        for ga, gb in combinations(groups, 2):
-            iou = group_iou(
-                [_visibility_map(by_id[u]) for u in ga]
-                + [_visibility_map(by_id[u]) for u in gb]
-            )
+        for ia, ib in combinations(range(len(groups)), 2):
+            iou = float(iou_matrix[ia, ib])
             if iou >= min_iou:
-                candidates.append((iou, ga, gb))
+                candidates.append((iou, groups[ia], groups[ib]))
         # Highest-similarity merges first, with a deterministic tiebreak.
         candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
         for _, ga, gb in candidates:

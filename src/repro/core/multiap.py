@@ -71,7 +71,7 @@ class MultiApDeployment:
         """(weights, RSS) of AP ``ap_index``'s best codebook beam to a point."""
         channel = self.channels[ap_index]
         codebook = self.codebooks[ap_index]
-        weight_matrix = np.stack([b.weights for b in codebook])
+        weight_matrix = codebook.weight_matrix
         rss = channel.rss_matrix_dbm(weight_matrix, position)
         best = int(np.argmax(rss))
         return codebook[best].weights, float(rss[best])

@@ -176,7 +176,7 @@ class ChannelRateProvider:
             # Each receiver's RSS must exclude their *own* body (the device
             # is in front of them), so the per-user sweeps use per-user
             # blocker sets rather than one shared set.
-            weight_matrix = np.stack([b.weights for b in self.codebook])
+            weight_matrix = self.codebook.weight_matrix
             per_user_rss = np.stack(
                 [
                     self.channel.rss_matrix_dbm(

@@ -142,7 +142,7 @@ def _compute(
     study = study_in_room(num_users=num_users, duration_s=duration_s, seed=seed)
     channel = default_channel()
     codebook = default_codebook()
-    weight_matrix = np.stack([b.weights for b in codebook])
+    weight_matrix = codebook.weight_matrix
     rng = np.random.default_rng(seed)
 
     sample_indices = rng.integers(0, study.num_samples, size=num_instants)

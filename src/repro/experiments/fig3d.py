@@ -117,7 +117,7 @@ def run_fig3d(
 def _compute(num_instants: int, seed: int) -> Fig3dResult:
     channel = default_channel()
     codebook = ideal_codebook()
-    weight_matrix = np.stack([b.weights for b in codebook])
+    weight_matrix = codebook.weight_matrix
     rng = np.random.default_rng(seed)
     room = channel.room
 

@@ -163,7 +163,7 @@ def _compute(
     study = study_in_room(num_users=num_users, duration_s=duration_s, seed=seed)
     channel = default_channel()
     codebook = ideal_codebook()
-    weight_matrix = np.stack([b.weights for b in codebook])
+    weight_matrix = codebook.weight_matrix
     video = default_video("high")
     # Trace positions live in room coordinates; shift the content-centered
     # video bounds to the room center where the users actually look.

@@ -14,15 +14,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core import (
-    CapacityRateProvider,
-    FixedQualityPolicy,
-    SessionConfig,
-    measure_max_fps,
-)
-from ..mac import AC_MODEL, AD_MODEL
-from ..pointcloud import VisibilityConfig
+from ..core import SessionConfig, measure_max_fps
 from ..runner import Experiment, RunSpec, register, run_experiment
+from ..scenario import SCALING_SYSTEM_SPECS, session_config_for
 from .common import (
     DEFAULT_SEED,
     default_study,
@@ -32,13 +26,9 @@ from .common import (
 
 __all__ = ["ScalingResult", "run_scaling", "run_one", "SCALING_SYSTEMS"]
 
-SCALING_SYSTEMS = (
-    "802.11ac vanilla",
-    "802.11ac ViVo",
-    "802.11ad vanilla",
-    "802.11ad ViVo",
-    "802.11ad ViVo+multicast",
-)
+# Labels come from the declarative system ladder the scenario layer owns;
+# the tuple is kept for callers that match on names.
+SCALING_SYSTEMS = tuple(s.label for s in SCALING_SYSTEM_SPECS)
 
 
 @dataclass(frozen=True)
@@ -84,37 +74,11 @@ def run_one(spec: RunSpec) -> dict:
     video = default_video(quality)
     study = default_study(num_users=n, duration_s=duration_s, seed=seed)
     fps: dict[str, float] = {}
-    for model, label in ((AC_MODEL, "802.11ac"), (AD_MODEL, "802.11ad")):
-        rates = CapacityRateProvider(model=model, num_users=n)
-        for vivo in (False, True):
-            config = SessionConfig(
-                video=video,
-                study=study,
-                rates=rates,
-                visibility=(
-                    VisibilityConfig() if vivo else VisibilityConfig.vanilla()
-                ),
-                grouping="none",
-                adaptation=FixedQualityPolicy(quality),
-                duration_s=duration_s,
-            )
-            name = f"{label} {'ViVo' if vivo else 'vanilla'}"
-            fps[name] = _mean_fps(config, num_frames)
-
-    config = SessionConfig(
-        video=video,
-        study=study,
-        rates=CapacityRateProvider(
-            model=AD_MODEL,
-            num_users=n,
-            multicast_rate_fraction=multicast_rate_fraction,
-        ),
-        visibility=VisibilityConfig(),
-        grouping="greedy",
-        adaptation=FixedQualityPolicy(quality),
-        duration_s=duration_s,
-    )
-    fps["802.11ad ViVo+multicast"] = _mean_fps(config, num_frames)
+    for system in SCALING_SYSTEM_SPECS:
+        config = session_config_for(
+            system, video, study, quality, duration_s, multicast_rate_fraction
+        )
+        fps[system.label] = _mean_fps(config, num_frames)
     return {
         "num_users": n,
         "fps": [{"system": s, "mean_fps": fps[s]} for s in SCALING_SYSTEMS],

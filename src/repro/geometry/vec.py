@@ -80,7 +80,11 @@ def azimuth_elevation(v: np.ndarray) -> tuple[float, float]:
     """
     v = normalize(np.asarray(v, dtype=np.float64))
     az = float(np.arctan2(v[1], v[0]))
-    el = float(np.arcsin(np.clip(v[2], -1.0, 1.0)))
+    # atan2 against the XY-plane radius, not arcsin(z): arcsin's derivative
+    # blows up at the poles, so near-vertical directions would lose the
+    # tiny horizontal component to rounding and break the roundtrip with
+    # from_azimuth_elevation.
+    el = float(np.arctan2(v[2], np.hypot(v[0], v[1])))
     return az, el
 
 

@@ -78,8 +78,7 @@ def best_unicast_beam(
     bodies: tuple[VerticalCylinder, ...] = (),
 ) -> tuple[Beam, float]:
     """Exhaustive sector sweep: the codebook beam with the highest RSS."""
-    weight_matrix = np.stack([beam.weights for beam in codebook])
-    rss = channel.rss_matrix_dbm(weight_matrix, rx_position, bodies)
+    rss = channel.rss_matrix_dbm(codebook.weight_matrix, rx_position, bodies)
     best = int(np.argmax(rss))
     return codebook[best], float(rss[best])
 
@@ -97,7 +96,7 @@ def best_common_beam(
     """
     if not rx_positions:
         raise ValueError("need at least one receiver")
-    weight_matrix = np.stack([beam.weights for beam in codebook])
+    weight_matrix = codebook.weight_matrix
     per_user = np.stack(
         [channel.rss_matrix_dbm(weight_matrix, pos, bodies) for pos in rx_positions]
     )  # (U, B)

@@ -57,6 +57,11 @@ class Codebook:
     # ideal (continuous-phase) beams for physics unit tests.
     phase_bits: int | None = 2
     beams: tuple[Beam, ...] = field(init=False)
+    # Cached (B, N) stack of all beam weights and per-beam weight power.
+    # Hot paths (beam sweeps, multicast designers) matmul against this
+    # instead of re-stacking per call.
+    weight_matrix: np.ndarray = field(init=False, repr=False)
+    _weight_norms: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_az < 2:
@@ -79,6 +84,14 @@ class Codebook:
                     )
                 )
         object.__setattr__(self, "beams", tuple(beams))
+        object.__setattr__(
+            self, "weight_matrix", np.stack([b.weights for b in beams])
+        )
+        object.__setattr__(
+            self,
+            "_weight_norms",
+            np.array([float(np.vdot(b.weights, b.weights).real) for b in beams]),
+        )
 
     def __len__(self) -> int:
         return len(self.beams)
@@ -98,7 +111,25 @@ class Codebook:
         return best
 
     def gains_toward(self, az: float, el: float) -> np.ndarray:
-        """Gain (dBi) of every beam toward one direction, shape ``(len,)``."""
+        """Gain (dBi) of every beam toward one direction, shape ``(len,)``.
+
+        Vectorized over the codebook: one steering vector, one matmul
+        against the cached weight matrix — instead of a per-beam
+        ``array.gain_dbi`` call (kept as
+        :meth:`gains_toward_reference` for equivalence tests and
+        ``repro bench --kernels``).
+        """
+        a = self.array.steering_vector(az, el)  # (N,)
+        af = np.abs(self.weight_matrix @ a) ** 2
+        with np.errstate(divide="ignore"):
+            gains = (
+                10.0 * np.log10(np.maximum(af / np.maximum(self._weight_norms, 1e-15), 1e-12))
+                + self.array.element_gain_dbi
+            )
+        return np.where(self._weight_norms < 1e-15, -np.inf, gains)
+
+    def gains_toward_reference(self, az: float, el: float) -> np.ndarray:
+        """Scalar reference for :meth:`gains_toward` (one beam per call)."""
         out = np.empty(len(self.beams))
         for i, beam in enumerate(self.beams):
             out[i] = self.array.gain_dbi(beam.weights, az, el)

@@ -91,7 +91,7 @@ class SectorSweep:
         """
         if retries < 0:
             raise ValueError("retries must be non-negative")
-        weight_matrix = np.stack([b.weights for b in self.codebook])
+        weight_matrix = self.codebook.weight_matrix
         rss = channel.rss_matrix_dbm(weight_matrix, rx_position, bodies)
         best = int(np.argmax(rss))
         duration = (1 + retries) * self.timing.sls_time(len(self.codebook))

@@ -218,6 +218,25 @@ def analyze(
         num_events += len(fs.events)
     num_events += len(recon.unframed)
 
+    # Venue runs tag every frame with the shard's room/AP context; fold a
+    # per-shard blame table so latency attributes to the room that paid it.
+    shards: dict[tuple[str, str], list[tuple[FrameSpans, dict[str, float]]]]
+    shards = {}
+    for fs, seg in attributed:
+        if fs.room is None and fs.ap is None:
+            continue
+        shards.setdefault((fs.room or "", fs.ap or ""), []).append((fs, seg))
+    by_shard = [
+        {
+            "room": room,
+            "ap": ap,
+            "late": sum(1 for fs, _ in shards[(room, ap)] if fs.status == "late"),
+            "lost": sum(1 for fs, _ in shards[(room, ap)] if fs.status == "lost"),
+            **_blame_entry(shards[(room, ap)]),
+        }
+        for room, ap in sorted(shards)
+    ]
+
     return {
         "schema": "repro.obs.analyze/1",
         "num_events": num_events,
@@ -236,6 +255,7 @@ def analyze(
             "lost": _blame_entry(by_status["lost"]),
             "problem": _blame_entry(problem),
         },
+        "by_shard": by_shard,
         "worst_frames": [
             {
                 "unit": fs.unit,
@@ -295,6 +315,30 @@ def format_report(report: Mapping[str, Any]) -> str:
     )
     if layer_bits:
         lines.append(f"by layer: {layer_bits}")
+    by_shard = report.get("by_shard") or []
+    if by_shard:
+        lines.append("per-shard latency attribution:")
+        rows = []
+        for entry in by_shard:
+            top_seg = max(
+                SEGMENT_ORDER,
+                key=lambda name: entry["segments"][name]["seconds"],
+            )
+            rows.append([
+                entry["room"],
+                entry["ap"],
+                entry["frames"],
+                entry["late"],
+                entry["lost"],
+                f"{entry['airtime_s'] * 1e3:.2f}",
+                top_seg,
+            ])
+        lines.append(
+            format_table(
+                ["room", "ap", "frames", "late", "lost", "ms", "top segment"],
+                rows,
+            )
+        )
     if report["worst_frames"]:
         lines.append("worst frames by delivery latency:")
         for row in report["worst_frames"]:

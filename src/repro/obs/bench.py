@@ -8,11 +8,21 @@ a perf history)::
 
     python -m repro bench loss_sweep table1 --scale small
     python -m repro bench loss_sweep --compare BENCH_1.json --tolerance 0.2
+    python -m repro bench --kernels --compare BENCH_2.json
 
 ``--compare`` re-runs the same measurement and exits non-zero when any
 experiment's wall time regressed beyond the tolerance against the
 baseline file — the CI hook that keeps the runner's performance honest
 across PRs.
+
+``--kernels`` additionally (or, with no experiments named, exclusively)
+times the vectorized hot-path kernels against their retained scalar
+references — pairwise viewport IoU at venue scale, the batched occlusion
+cull, and the codebook gain sweep — and records each kernel's measured
+speedup plus its ``min_speedup`` floor.  ``--compare`` gates *speedup
+against the baseline's floor*, not wall time, so the kernel gate is
+machine-independent: a slower CI box passes as long as the vectorized
+path still beats the scalar one by the required factor.
 
 Measurement uses ``time.perf_counter`` only (monotonic elapsed time; the
 repo's D1xx lint permits it, wall-clock *timestamps* stay banned), and
@@ -34,7 +44,9 @@ from .profile import PhaseProfiler
 
 __all__ = [
     "BENCH_SCHEMA",
+    "KERNEL_MIN_SPEEDUP",
     "run_bench",
+    "run_kernel_bench",
     "next_bench_path",
     "write_bench",
     "validate_bench",
@@ -50,6 +62,20 @@ _REQUIRED_EXPERIMENT = (
     "name", "units", "cached_units", "cache_hit_rate", "wall_s",
     "units_per_s", "phases",
 )
+_REQUIRED_KERNEL = (
+    "name", "scalar_wall_s", "vectorized_wall_s", "speedup", "min_speedup",
+)
+
+# Machine-independent speedup floors the --compare gate enforces: the
+# vectorized kernel must beat its scalar reference by at least this
+# factor on whatever box runs the bench.  The pairwise floor is the
+# acceptance criterion for the venue-scale work (>= 5x at 1,000 users);
+# the other two are deliberately conservative.
+KERNEL_MIN_SPEEDUP = {
+    "pairwise_similarity_1000": 5.0,
+    "occlusion_mask": 1.5,
+    "beam_gains": 1.5,
+}
 
 
 def _peak_rss_bytes() -> int | None:
@@ -127,6 +153,123 @@ def run_bench(
     return doc
 
 
+def run_kernel_bench(num_users: int = 1000) -> list[dict[str, Any]]:
+    """Time the vectorized kernels against their scalar references.
+
+    Returns one entry per kernel: wall seconds for the scalar reference
+    path and the vectorized path over identical inputs, the measured
+    speedup, and the machine-independent ``min_speedup`` floor the
+    ``--compare`` gate holds future runs to.  ``num_users`` sizes the
+    pairwise-similarity population (1,000 is the venue-scale acceptance
+    point; tests shrink it).
+    """
+    from time import perf_counter
+
+    import numpy as np
+
+    from ..core.similarity import group_iou, pairwise_iou_matrix
+    from ..mmwave import Codebook, PhasedArray
+    from ..pointcloud import CellGrid, VisibilityConfig, synthesize_video
+    from ..pointcloud.visibility import (
+        _occlusion_mask,
+        _occlusion_mask_reference,
+    )
+    from ..traces import generate_user_study
+
+    entries: list[dict[str, Any]] = []
+
+    def _entry(name: str, scalar_s: float, vectorized_s: float) -> None:
+        speedup = (
+            scalar_s / vectorized_s if vectorized_s > 0 else float("inf")
+        )
+        floor = KERNEL_MIN_SPEEDUP.get(
+            name, KERNEL_MIN_SPEEDUP["pairwise_similarity_1000"]
+        )
+        entries.append(
+            {
+                "name": name,
+                "scalar_wall_s": round(scalar_s, 6),
+                "vectorized_wall_s": round(vectorized_s, 6),
+                "speedup": round(speedup, 3),
+                "min_speedup": floor,
+            }
+        )
+
+    # -- pairwise viewport IoU over a venue-scale population ----------------
+    rng = np.random.default_rng(0)
+    maps = []
+    for _ in range(num_users):
+        size = int(rng.integers(40, 120))
+        maps.append(
+            frozenset(
+                int(c) for c in rng.choice(600, size=size, replace=False)
+            )
+        )
+    t0 = perf_counter()
+    scalar_iou = [
+        [group_iou([maps[i], maps[j]]) for j in range(i + 1, len(maps))]
+        for i in range(len(maps))
+    ]
+    t1 = perf_counter()
+    matrix = pairwise_iou_matrix(maps)
+    t2 = perf_counter()
+    # Same numbers either way — a bench that diverged would be lying.
+    if matrix[0, 1] != scalar_iou[0][0]:
+        raise RuntimeError(
+            "vectorized pairwise IoU diverged from the scalar reference"
+        )
+    _entry(f"pairwise_similarity_{num_users}", t1 - t0, t2 - t1)
+
+    # -- batched occlusion cull over one frame's frustums -------------------
+    video = synthesize_video("medium", num_frames=1, points_per_frame=6000,
+                             seed=0)
+    grid = CellGrid.covering(video.bounds, 0.5, margin=0.05)
+    study = generate_user_study(num_users=8, duration_s=2.0, seed=0)
+    occ = grid.occupancy(video[0])
+    config = VisibilityConfig()
+    cell_ids = occ.cell_ids
+    nominal = occ.nominal_counts().astype(np.float64)
+    lows, highs = grid.cell_bounds_array(cell_ids)
+    centers = grid.cell_centers(cell_ids)
+    frustums = [t.pose_at(1.0).frustum() for t in study.traces]
+    repeats = 20  # single pass is ~ms-scale; repeat to swamp timer jitter
+    t0 = perf_counter()
+    for _ in range(repeats):
+        for frustum in frustums:
+            _occlusion_mask_reference(
+                grid, cell_ids, nominal, frustum, config
+            )
+    t1 = perf_counter()
+    for _ in range(repeats):
+        for frustum in frustums:
+            _occlusion_mask(
+                centers, lows, highs, nominal, frustum, config,
+                grid.cell_size,
+            )
+    t2 = perf_counter()
+    _entry("occlusion_mask", t1 - t0, t2 - t1)
+
+    # -- codebook gain sweep over many directions ---------------------------
+    codebook = Codebook(array=PhasedArray(), num_az=64)
+    directions = [
+        (float(az), float(el))
+        for az, el in zip(
+            rng.uniform(-np.pi, np.pi, size=100),
+            rng.uniform(-0.4, 0.4, size=100),
+        )
+    ]
+    t0 = perf_counter()
+    for az, el in directions:
+        codebook.gains_toward_reference(az, el)
+    t1 = perf_counter()
+    for az, el in directions:
+        codebook.gains_toward(az, el)
+    t2 = perf_counter()
+    _entry("beam_gains", t1 - t0, t2 - t1)
+
+    return entries
+
+
 def next_bench_path(out_dir: Path | str = ".") -> Path:
     """The next free ``BENCH_<n>.json`` path under ``out_dir`` (n from 1)."""
     out_dir = Path(out_dir)
@@ -182,6 +325,24 @@ def validate_bench(doc: Mapping[str, Any]) -> None:
             problems.append(
                 f"experiments[{i}].cache_hit_rate must be in [0, 1]"
             )
+    kernels = doc.get("kernels", [])
+    if not isinstance(kernels, list):
+        problems.append("'kernels' must be a list when present")
+        kernels = []
+    for i, entry in enumerate(kernels):
+        if not isinstance(entry, Mapping):
+            problems.append(f"kernels[{i}] must be an object")
+            continue
+        for key in _REQUIRED_KERNEL:
+            if key not in entry:
+                problems.append(f"kernels[{i}] missing key {key!r}")
+        for key in ("scalar_wall_s", "vectorized_wall_s"):
+            wall = entry.get(key)
+            if isinstance(wall, (int, float)) and wall < 0:
+                problems.append(f"kernels[{i}].{key} must be non-negative")
+        floor = entry.get("min_speedup")
+        if isinstance(floor, (int, float)) and floor <= 0:
+            problems.append(f"kernels[{i}].min_speedup must be positive")
     if problems:
         raise ValueError("invalid bench document: " + "; ".join(problems))
 
@@ -191,11 +352,13 @@ def compare_bench(
     baseline: Mapping[str, Any],
     tolerance: float = 0.2,
 ) -> list[str]:
-    """Wall-time regressions of ``current`` vs. ``baseline``.
+    """Regressions of ``current`` vs. ``baseline``.
 
     Returns one message per experiment (present in both documents) whose
     wall time exceeds the baseline's by more than ``tolerance`` (a
-    fraction: 0.2 = 20%).  Empty list = no regression.
+    fraction: 0.2 = 20%), plus one per kernel whose measured speedup fell
+    below the *baseline's* ``min_speedup`` floor — a ratio, so the kernel
+    gate holds on any machine.  Empty list = no regression.
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
@@ -216,6 +379,20 @@ def compare_bench(
                 f"{entry['name']}: wall {cur_wall:.3f}s vs baseline "
                 f"{base_wall:.3f}s ({shown}, tolerance "
                 f"{(1.0 + tolerance):.2f}x)"
+            )
+    base_kernels = {
+        e["name"]: e for e in baseline.get("kernels", [])
+    }
+    for entry in current.get("kernels", []):
+        base = base_kernels.get(entry["name"])
+        if base is None:
+            continue
+        speedup = float(entry["speedup"])
+        floor = float(base["min_speedup"])
+        if speedup < floor:
+            regressions.append(
+                f"{entry['name']}: vectorized speedup {speedup:.2f}x fell "
+                f"below the baseline floor {floor:.2f}x"
             )
     return regressions
 
@@ -257,6 +434,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the result cache (hit rate reports as 0)",
     )
     parser.add_argument(
+        "--kernels",
+        action="store_true",
+        help="also time the vectorized kernels against their scalar "
+             "references; with no experiments named, bench kernels only",
+    )
+    parser.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE",
@@ -278,7 +461,10 @@ def main(argv: list[str] | None = None) -> int:
     from ..runner.registry import experiment_names
 
     args = build_parser().parse_args(argv)
-    names = args.experiments or experiment_names()
+    if args.kernels and not args.experiments:
+        names = []  # kernels-only point
+    else:
+        names = args.experiments or experiment_names()
     try:
         doc = run_bench(
             names,
@@ -288,12 +474,26 @@ def main(argv: list[str] | None = None) -> int:
         )
     except KeyError as err:
         raise SystemExit(str(err)) from None
+    if args.kernels:
+        kernels = run_kernel_bench()
+        doc["kernels"] = kernels
+        doc["total_wall_s"] = round(
+            doc["total_wall_s"]
+            + sum(k["scalar_wall_s"] + k["vectorized_wall_s"] for k in kernels),
+            6,
+        )
     path = write_bench(doc, args.out_dir)
     for entry in doc["experiments"]:
         print(
             f"{entry['name']}: {entry['units']} unit(s) in "
             f"{entry['wall_s']:.3f}s ({entry['units_per_s']:.2f}/s, "
             f"cache hit rate {entry['cache_hit_rate'] * 100:.0f}%)"
+        )
+    for entry in doc.get("kernels", []):
+        print(
+            f"kernel {entry['name']}: scalar {entry['scalar_wall_s']:.3f}s, "
+            f"vectorized {entry['vectorized_wall_s']:.3f}s -> "
+            f"{entry['speedup']:.1f}x (floor {entry['min_speedup']:.1f}x)"
         )
     print(f"bench point written to {path}")
     if args.compare:

@@ -152,6 +152,8 @@ class FrameSpans:
     unit: str | None
     frame: int
     occurrence: int  # nth delivery attempt of this frame within the unit
+    room: str | None = None  # scenario shard context, from the first event
+    ap: str | None = None  # that carried it (venue runs only)
     events: list[dict[str, Any]] = field(default_factory=list)
     spans: list[Span] = field(default_factory=list)
     outcome: dict[str, Any] | None = None  # the net.frame_outcome event
@@ -408,6 +410,10 @@ def reconstruct(events: Iterable[Mapping[str, Any]]) -> Reconstruction:
             open_groups[gk] = group
             recon.frames.append(group)
         group.events.append(event_dict)
+        if group.room is None and event_dict.get("room") is not None:
+            group.room = str(event_dict["room"])
+        if group.ap is None and event_dict.get("ap") is not None:
+            group.ap = str(event_dict["ap"])
         span = _span_from_event(event_dict)
         if span is not None:
             group.spans.append(span)

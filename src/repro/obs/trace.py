@@ -56,20 +56,26 @@ __all__ = [
 # The cross-layer join keys: every tap that knows one of these attaches it,
 # so span reconstruction (repro.obs.spans) joins events structurally instead
 # of guessing from emission order.  ``unit`` is ambient recorder context (the
-# RunSpec key, set by the trace CLI); the rest are per-event fields.
-CORRELATION_FIELDS = ("unit", "frame", "user", "users")
+# RunSpec key, set by the trace CLI); ``room``/``ap`` are ambient shard
+# context (set per room by the scenario shard engine); the rest are
+# per-event fields.
+CORRELATION_FIELDS = ("unit", "room", "ap", "frame", "user", "users")
 
 
 def correlation(
     frame: int | None = None,
     user: int | None = None,
     users: tuple[int, ...] | None = None,
+    room: str | None = None,
+    ap: str | None = None,
 ) -> dict[str, Any]:
     """Correlation fields for an ``emit`` call, omitting the unknown ones.
 
     Taps deep in the stack (ARQ rounds, FEC blocks) receive the frame index
     and receiver ids as optional pass-through arguments; this keeps the
-    "include only what the caller knows" convention in one place.
+    "include only what the caller knows" convention in one place.  Most
+    taps never pass ``room``/``ap`` explicitly — the shard engine sets
+    them as ambient recorder context instead.
     """
     fields: dict[str, Any] = {}
     if frame is not None:
@@ -78,6 +84,10 @@ def correlation(
         fields["user"] = int(user)
     if users is not None:
         fields["users"] = [int(u) for u in users]
+    if room is not None:
+        fields["room"] = str(room)
+    if ap is not None:
+        fields["ap"] = str(ap)
     return fields
 
 

@@ -12,7 +12,12 @@ from .compression import (
 from .octree import Octree, OctreeOccupancy, build_octree
 from .synthesis import HumanoidModel, synthesize_frame, synthesize_video
 from .video import QUALITIES, QUALITY_ORDER, PointCloudVideo, QualityLevel
-from .visibility import VisibilityConfig, VisibilityResult, compute_visibility
+from .visibility import (
+    VisibilityConfig,
+    VisibilityResult,
+    compute_visibility,
+    compute_visibility_batch,
+)
 
 __all__ = [
     "CellGrid",
@@ -38,4 +43,5 @@ __all__ = [
     "VisibilityConfig",
     "VisibilityResult",
     "compute_visibility",
+    "compute_visibility_batch",
 ]

@@ -28,7 +28,12 @@ from ..geometry import Frustum
 from .cells import FrameOccupancy
 from .compression import CompressionModel, DEFAULT_COMPRESSION
 
-__all__ = ["VisibilityConfig", "VisibilityResult", "compute_visibility"]
+__all__ = [
+    "VisibilityConfig",
+    "VisibilityResult",
+    "compute_visibility",
+    "compute_visibility_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -124,54 +129,90 @@ def compute_visibility(
 ) -> VisibilityResult:
     """Apply the configured ViVo optimizations to one frame for one viewer."""
     config = config or VisibilityConfig()
+    return compute_visibility_batch(occupancy, [frustum], config)[0]
+
+
+def compute_visibility_batch(
+    occupancy: FrameOccupancy,
+    frustums: list[Frustum],
+    config: VisibilityConfig | None = None,
+) -> list[VisibilityResult]:
+    """Visibility for many viewers of one frame, sharing per-frame arrays.
+
+    Cell bounds, centers, and nominal counts depend only on the occupancy,
+    so for a venue's worth of viewers they are computed once here instead
+    of once per viewer.  Each viewer's result is identical to calling
+    :func:`compute_visibility` alone.
+    """
+    config = config or VisibilityConfig()
     grid = occupancy.grid
-    cell_ids = occupancy.cell_ids
-    nominal = occupancy.nominal_counts().astype(np.float64)
-    frame_points = float(nominal.sum())
+    all_ids = occupancy.cell_ids
+    all_nominal = occupancy.nominal_counts().astype(np.float64)
+    frame_points = float(all_nominal.sum())
 
-    # 1. Viewport: frustum-cull occupied cells.
-    if config.viewport and len(cell_ids):
-        lows, highs = grid.cell_bounds_array(cell_ids)
-        mask = frustum.intersects_aabbs(lows, highs)
-        cell_ids = cell_ids[mask]
-        nominal = nominal[mask]
+    all_lows = all_highs = all_centers = None
+    if len(all_ids) and (config.viewport or config.occlusion):
+        all_lows, all_highs = grid.cell_bounds_array(all_ids)
+    if len(all_ids) and (config.occlusion or config.distance):
+        all_centers = grid.cell_centers(all_ids)
 
-    # 2. Occlusion: angular-bin depth culling.
-    if config.occlusion and len(cell_ids):
-        keep = _occlusion_mask(grid, cell_ids, nominal, frustum, config)
-        cell_ids = cell_ids[keep]
-        nominal = nominal[keep]
+    results = []
+    for frustum in frustums:
+        cell_ids, nominal = all_ids, all_nominal
+        lows, highs, centers = all_lows, all_highs, all_centers
 
-    # 3. Distance: reduced fetch fraction for far cells.
-    if config.distance and len(cell_ids):
-        centers = grid.cell_centers(cell_ids)
-        dist = np.linalg.norm(centers - frustum.position, axis=1)
-        fractions = np.where(
-            dist <= config.distance_full_m,
-            1.0,
-            np.maximum(
-                config.distance_min_fraction,
-                (config.distance_full_m / np.maximum(dist, 1e-9)) ** 2,
-            ),
+        # 1. Viewport: frustum-cull occupied cells.
+        if config.viewport and len(cell_ids):
+            mask = frustum.intersects_aabbs(lows, highs)
+            cell_ids = cell_ids[mask]
+            nominal = nominal[mask]
+            lows, highs = lows[mask], highs[mask]
+            if centers is not None:
+                centers = centers[mask]
+
+        # 2. Occlusion: angular-bin depth culling.
+        if config.occlusion and len(cell_ids):
+            keep = _occlusion_mask(
+                centers, lows, highs, nominal, frustum, config, grid.cell_size
+            )
+            cell_ids = cell_ids[keep]
+            nominal = nominal[keep]
+            centers = centers[keep]
+
+        # 3. Distance: reduced fetch fraction for far cells.
+        if config.distance and len(cell_ids):
+            dist = np.linalg.norm(centers - frustum.position, axis=1)
+            fractions = np.where(
+                dist <= config.distance_full_m,
+                1.0,
+                np.maximum(
+                    config.distance_min_fraction,
+                    (config.distance_full_m / np.maximum(dist, 1e-9)) ** 2,
+                ),
+            )
+        else:
+            fractions = np.ones(len(cell_ids))
+
+        order = np.argsort(cell_ids)
+        results.append(
+            VisibilityResult(
+                cell_ids=cell_ids[order],
+                fractions=fractions[order],
+                nominal_counts=nominal[order],
+                frame_nominal_points=frame_points,
+            )
         )
-    else:
-        fractions = np.ones(len(cell_ids))
-
-    order = np.argsort(cell_ids)
-    return VisibilityResult(
-        cell_ids=cell_ids[order],
-        fractions=fractions[order],
-        nominal_counts=nominal[order],
-        frame_nominal_points=frame_points,
-    )
+    return results
 
 
 def _occlusion_mask(
-    grid,
-    cell_ids: np.ndarray,
+    centers: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
     nominal: np.ndarray,
     frustum: Frustum,
     config: VisibilityConfig,
+    cell_size: float,
 ) -> np.ndarray:
     """Boolean keep-mask implementing ray-based occlusion culling.
 
@@ -180,7 +221,69 @@ def _occlusion_mask(
     passes through on the way.  Once the accumulated mass exceeds the
     opacity fraction of the frame, the surface in front is opaque and the
     cell is culled — the point-level occlusion behaviour of ViVo reduced
-    to cell granularity.  O(C^2) slab tests, vectorized over the blockers.
+    to cell granularity.
+
+    Batched slab tests: targets are processed in chunks, each chunk testing
+    (T, C, 3) segment-vs-box slabs in one shot.  Nominal counts are
+    integer-valued, so the accumulated blocker mass is exact under any
+    summation order and the keep decisions are bit-identical to
+    :func:`_occlusion_mask_reference`.
+    """
+    n = len(centers)
+    if n <= 1:
+        return np.ones(n, dtype=bool)
+    eye = frustum.position
+    rel = centers - eye  # ray directions (to each cell center)
+    threshold = config.occlusion_opacity_fraction * float(nominal.sum())
+
+    # Shrink blocker boxes slightly so rays grazing a shared face do not
+    # count neighbours as blockers.
+    eps_box = 0.02 * cell_size
+    b_lo = lows + eps_box
+    b_hi = highs - eps_box
+    lo_rel = b_lo - eye  # (C, 3), shared by every target ray
+    outside_axis = (eye < b_lo) | (eye > b_hi)  # (C, 3)
+    hi_rel = b_hi - eye
+
+    keep = np.ones(n, dtype=bool)
+    chunk = max(1, (1 << 18) // n)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for start in range(0, n, chunk):
+            idx = np.arange(start, min(start + chunk, n))
+            d = rel[idx]  # (T, 3)
+            inv = np.where(np.abs(d) > 1e-12, 1.0 / d, np.inf)
+            # Slab test of segments eye -> center_i against all boxes.
+            t0 = lo_rel[None, :, :] * inv[:, None, :]  # (T, C, 3)
+            t1 = hi_rel[None, :, :] * inv[:, None, :]
+            # Degenerate axes: if the eye coordinate is outside the slab,
+            # the box cannot be hit along that axis.
+            degenerate = (np.abs(d) <= 1e-12)[:, None, :]  # (T, 1, 3)
+            outside = degenerate & outside_axis[None, :, :]
+            tmin = np.where(degenerate, -np.inf, np.minimum(t0, t1))
+            tmax = np.where(degenerate, np.inf, np.maximum(t0, t1))
+            enter = tmin.max(axis=2)  # (T, C)
+            exit_ = tmax.min(axis=2)
+            hit = (enter < exit_) & (exit_ > 0.0) & ~outside.any(axis=2)
+            # Block only if crossed strictly before reaching the target cell.
+            before = hit & (enter < 0.98) & (enter > 0.0)
+            before[np.arange(len(idx)), idx] = False
+            mass = before @ nominal  # exact: integer-valued counts
+            keep[idx] = mass < threshold
+    return keep
+
+
+def _occlusion_mask_reference(
+    grid,
+    cell_ids: np.ndarray,
+    nominal: np.ndarray,
+    frustum: Frustum,
+    config: VisibilityConfig,
+) -> np.ndarray:
+    """Scalar reference for :func:`_occlusion_mask` (one ray per iteration).
+
+    Kept verbatim as the golden-equivalence baseline for the batched kernel
+    (asserted by ``tests/pointcloud/test_visibility_kernels.py``) and timed
+    against it by ``repro bench --kernels``.
     """
     n = len(cell_ids)
     if n <= 1:
@@ -188,24 +291,19 @@ def _occlusion_mask(
     centers = grid.cell_centers(cell_ids)
     lows, highs = grid.cell_bounds_array(cell_ids)
     eye = frustum.position
-    rel = centers - eye  # ray directions (to each cell center)
+    rel = centers - eye
     threshold = config.occlusion_opacity_fraction * float(nominal.sum())
 
     keep = np.ones(n, dtype=bool)
-    # Shrink blocker boxes slightly so rays grazing a shared face do not
-    # count neighbours as blockers.
     eps_box = 0.02 * grid.cell_size
     b_lo = lows + eps_box
     b_hi = highs - eps_box
     with np.errstate(divide="ignore", invalid="ignore"):
         for i in range(n):
             d = rel[i]
-            # Slab test of segment eye -> center_i against all boxes.
             inv = np.where(np.abs(d) > 1e-12, 1.0 / d, np.inf)
             t0 = (b_lo - eye) * inv
             t1 = (b_hi - eye) * inv
-            # Degenerate axes: if the eye coordinate is outside the slab,
-            # the box cannot be hit along that axis.
             degenerate = np.abs(d) <= 1e-12
             outside = degenerate & ((eye < b_lo) | (eye > b_hi))
             tmin = np.where(degenerate, -np.inf, np.minimum(t0, t1))
@@ -213,7 +311,6 @@ def _occlusion_mask(
             enter = tmin.max(axis=1)
             exit_ = tmax.min(axis=1)
             hit = (enter < exit_) & (exit_ > 0.0) & ~outside.any(axis=1)
-            # Block only if crossed strictly before reaching the target cell.
             before = hit & (enter < 0.98) & (enter > 0.0)
             before[i] = False
             if float(nominal[before].sum()) >= threshold:

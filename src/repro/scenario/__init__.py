@@ -1,0 +1,50 @@
+"""Venue-scale scenario composition: populations of sessions across APs.
+
+Everything below the per-room tick reuses the existing stack — the
+vectorized visibility/similarity kernels, the MAC frame scheduler, the
+calibrated WLAN capacity models, and the sim event loop.  This package
+adds the population layer on top: declarative venues
+(:class:`VenueSpec`), seeded churn (:mod:`~repro.scenario.population`),
+per-AP shard engines (:class:`ShardEngine`), and the shard planner whose
+merge is bit-identical for any shard or worker count
+(:mod:`~repro.scenario.planner`).
+"""
+
+from .planner import merge_shard_results, shard_rooms, venue_summary
+from .population import (
+    ARRIVE,
+    DEPART,
+    UserSession,
+    room_schedule,
+    room_sessions,
+)
+from .shard import ArchetypeLibrary, ShardEngine, run_shard
+from .spec import RoomSpec, VenueSpec
+from .systems import (
+    SCALING_SYSTEM_SPECS,
+    SystemSpec,
+    capacity_model,
+    rate_provider_for,
+    session_config_for,
+)
+
+__all__ = [
+    "ARRIVE",
+    "DEPART",
+    "ArchetypeLibrary",
+    "RoomSpec",
+    "SCALING_SYSTEM_SPECS",
+    "ShardEngine",
+    "SystemSpec",
+    "UserSession",
+    "VenueSpec",
+    "capacity_model",
+    "merge_shard_results",
+    "rate_provider_for",
+    "room_schedule",
+    "room_sessions",
+    "run_shard",
+    "session_config_for",
+    "shard_rooms",
+    "venue_summary",
+]

@@ -1,0 +1,87 @@
+"""Shard planning and deterministic, spec-ordered metric merging.
+
+The planner decides *how the venue is cut*, never *what happens inside a
+room*: rooms are pure functions of ``(venue, room_index)``, so the only
+job here is to partition room indices into balanced contiguous shards
+(one :class:`~repro.runner.RunSpec` each, executed by the existing
+multiprocessing runner) and to merge the shard results back into one
+venue report in room order — bit-identical whatever the shard count or
+worker count was.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["shard_rooms", "merge_shard_results", "venue_summary"]
+
+
+def shard_rooms(num_rooms: int, num_shards: int) -> tuple[tuple[int, ...], ...]:
+    """Partition room indices into contiguous, balanced shards.
+
+    The first ``num_rooms % num_shards`` shards get the extra room.  More
+    shards than rooms collapses to one room per shard (empty shards are
+    never emitted).
+    """
+    if num_rooms < 1:
+        raise ValueError("num_rooms must be >= 1")
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    num_shards = min(num_shards, num_rooms)
+    base, extra = divmod(num_rooms, num_shards)
+    shards = []
+    start = 0
+    for s in range(num_shards):
+        size = base + (1 if s < extra else 0)
+        shards.append(tuple(range(start, start + size)))
+        start += size
+    return tuple(shards)
+
+
+def merge_shard_results(shard_results: list[dict]) -> dict:
+    """Fold per-shard room reports into one venue report, in room order.
+
+    Merging is pure bookkeeping — concatenate the rooms, sort by the
+    room's venue index, and compute venue aggregates from the sorted
+    list — so the merged report is a deterministic function of the room
+    results alone, independent of shard boundaries.
+    """
+    rooms = [
+        room for shard in shard_results for room in shard["rooms"]
+    ]
+    rooms.sort(key=lambda room: room["room_index"])
+    indices = [room["room_index"] for room in rooms]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"duplicate room indices across shards: {indices}")
+    return {"rooms": rooms, "venue": venue_summary(rooms)}
+
+
+def venue_summary(rooms: list[dict]) -> dict:
+    """Venue-level aggregates over an ordered room list."""
+    total_sessions = sum(room["sessions"] for room in rooms)
+    arrivals = sum(room["arrivals"] for room in rooms)
+    rejected = sum(room["rejected"] for room in rooms)
+    departures = sum(room["departures"] for room in rooms)
+    peak = sum(room["peak_active"] for room in rooms)
+    airtime = math.fsum(room["total_airtime_s"] for room in rooms)
+    fps_values = [
+        tick["fps"]
+        for room in rooms
+        for tick in room["ticks"]
+        if tick["active"] > 0
+    ]
+    mean_fps = (
+        math.fsum(fps_values) / len(fps_values) if fps_values else None
+    )
+    worst_fps = min(fps_values) if fps_values else None
+    return {
+        "rooms": len(rooms),
+        "sessions": total_sessions,
+        "arrivals": arrivals,
+        "rejected": rejected,
+        "departures": departures,
+        "peak_active": peak,
+        "total_airtime_s": airtime,
+        "mean_fps": mean_fps,
+        "worst_tick_fps": worst_fps,
+    }

@@ -1,0 +1,110 @@
+"""Seeded per-room population processes: who is in the room, and when.
+
+The venue's entire churn is a pure function of ``(venue.seed, room_index,
+room parameters)``: every room draws its arrivals, dwell times, and
+archetypes from its own ``SeedSequence([seed, salt, room_index])`` stream,
+independent of every other room.  That single property is what makes the
+shard planner free to partition rooms however it likes — serial execution,
+one shard per room, or any grouping in between replays bit-identical
+populations (asserted by ``tests/scenario/test_churn_determinism.py``).
+
+Draw order per room is fixed and documented: initial occupants (dwell,
+archetype each), then Poisson arrivals (inter-arrival, dwell, archetype
+each), then the flash-crowd burst (dwell, archetype each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .spec import VenueSpec
+
+__all__ = ["UserSession", "room_sessions", "room_schedule", "ARRIVE", "DEPART"]
+
+# Salt separating the population stream from any other venue-seeded stream.
+_POPULATION_SALT = 0x5E55
+
+# Event kinds in a room schedule; arrivals sort before departures at equal
+# times so a full room admits nobody on the instant someone else leaves
+# (the conservative reading of an admission limit).
+ARRIVE = 0
+DEPART = 1
+
+
+@dataclass(frozen=True)
+class UserSession:
+    """One user's stay in one room (ids are unique within the room)."""
+
+    user_id: int
+    room: str
+    archetype: int
+    arrival_s: float
+    departure_s: float
+
+    def __post_init__(self) -> None:
+        if self.departure_s < self.arrival_s:
+            raise ValueError("departure before arrival")
+
+
+def room_sessions(venue: VenueSpec, room_index: int) -> tuple[UserSession, ...]:
+    """Every session the room sees over the scenario, in arrival order.
+
+    Depends only on the venue seed, the room's own spec, and its index in
+    the venue — never on sharding, worker count, or the other rooms.
+    """
+    room = venue.rooms[room_index]
+    rng = np.random.default_rng(
+        np.random.SeedSequence([venue.seed, _POPULATION_SALT, room_index])
+    )
+    sessions: list[UserSession] = []
+
+    def _add(arrival_s: float) -> None:
+        dwell = float(rng.exponential(room.mean_dwell_s))
+        archetype = int(rng.integers(venue.archetypes))
+        sessions.append(
+            UserSession(
+                user_id=len(sessions),
+                room=room.name,
+                archetype=archetype,
+                arrival_s=arrival_s,
+                departure_s=arrival_s + dwell,
+            )
+        )
+
+    for _ in range(room.initial_users):
+        _add(0.0)
+    if room.arrival_rate_hz > 0:
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / room.arrival_rate_hz))
+            if t >= venue.duration_s:
+                break
+            _add(t)
+    if room.flash_crowd_size and room.flash_crowd_at_s is not None:
+        for _ in range(room.flash_crowd_size):
+            _add(float(room.flash_crowd_at_s))
+
+    sessions.sort(key=lambda s: (s.arrival_s, s.user_id))
+    return tuple(sessions)
+
+
+def room_schedule(
+    sessions: tuple[UserSession, ...], duration_s: float
+) -> tuple[tuple[float, int, int], ...]:
+    """The room's churn timeline: sorted ``(time, kind, user_id)`` events.
+
+    Departures at or beyond ``duration_s`` are dropped (the scenario ends
+    first); the ``(time, kind, user_id)`` sort is the total, deterministic
+    order the shard engine replays.
+    """
+    events: list[tuple[float, int, int]] = []
+    for s in sessions:
+        if s.arrival_s >= duration_s:
+            continue
+        events.append((s.arrival_s, ARRIVE, s.user_id))
+        if s.departure_s < duration_s:
+            events.append((s.departure_s, DEPART, s.user_id))
+    events.sort()
+    return tuple(events)

@@ -1,0 +1,231 @@
+"""Declarative venue specifications for population-scale scenarios.
+
+A :class:`VenueSpec` describes a whole venue — rooms, each served by its
+own AP, with per-room capacities, content placement (which encoding plays
+in the room), and churn parameters — without saying anything about *how*
+it is executed.  The shard planner (:mod:`repro.scenario.planner`) turns a
+venue into per-AP shard work units; the population process
+(:mod:`repro.scenario.population`) derives every room's arrival/departure
+sequence purely from ``(venue.seed, room_index)`` so any sharding of the
+rooms replays the exact same venue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
+
+from ..defaults import DEFAULT_SEED
+from ..pointcloud import QUALITIES
+
+__all__ = ["RoomSpec", "VenueSpec"]
+
+_WLANS = ("ac", "ad")
+_GROUPINGS = ("none", "greedy")
+
+
+@dataclass(frozen=True)
+class RoomSpec:
+    """One room: an AP, a capacity, content, and a churn process.
+
+    Attributes:
+        name: stable room identifier (also the trace ``room`` correlation
+            field).
+        ap: the AP serving the room (trace ``ap`` correlation field).
+        capacity: admission limit — arrivals beyond it are rejected.
+        initial_users: occupants already present at t=0.
+        arrival_rate_hz: Poisson arrival intensity over the scenario.
+        mean_dwell_s: mean of the exponential session-length distribution.
+        quality: content placement — which encoding ladder rung the room's
+            volumetric show plays at.
+        flash_crowd_at_s: instant of an optional flash-crowd burst.
+        flash_crowd_size: users arriving together in the burst (0 = none).
+    """
+
+    name: str
+    ap: str
+    capacity: int = 50
+    initial_users: int = 0
+    arrival_rate_hz: float = 0.2
+    mean_dwell_s: float = 60.0
+    quality: str = "high"
+    flash_crowd_at_s: float | None = None
+    flash_crowd_size: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("room name must be non-empty")
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.initial_users < 0 or self.initial_users > self.capacity:
+            raise ValueError("initial_users must be in [0, capacity]")
+        if self.arrival_rate_hz < 0:
+            raise ValueError("arrival_rate_hz must be non-negative")
+        if self.mean_dwell_s <= 0:
+            raise ValueError("mean_dwell_s must be positive")
+        if self.quality not in QUALITIES:
+            raise ValueError(
+                f"unknown quality {self.quality!r}; "
+                f"expected one of {sorted(QUALITIES)}"
+            )
+        if self.flash_crowd_size < 0:
+            raise ValueError("flash_crowd_size must be non-negative")
+        if self.flash_crowd_size and self.flash_crowd_at_s is None:
+            raise ValueError("flash_crowd_size needs flash_crowd_at_s")
+
+
+@dataclass(frozen=True)
+class VenueSpec:
+    """A venue: rooms plus the scenario-wide delivery parameters."""
+
+    rooms: tuple[RoomSpec, ...]
+    duration_s: float = 10.0
+    tick_s: float = 1.0
+    seed: int = DEFAULT_SEED
+    archetypes: int = 8  # distinct viewer-behaviour archetypes per room
+    wlan: str = "ad"  # "ac" | "ad" capacity calibration
+    multicast_rate_fraction: float = 0.8
+    grouping: str = "greedy"  # "none" | "greedy"
+    min_group_iou: float = 0.05
+    target_fps: float = 30.0
+    cell_size: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.rooms:
+            raise ValueError("a venue needs at least one room")
+        names = [room.name for room in self.rooms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"room names must be unique, got {names}")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.tick_s <= 0 or self.tick_s > self.duration_s:
+            raise ValueError("tick_s must be in (0, duration_s]")
+        if self.archetypes < 1:
+            raise ValueError("archetypes must be >= 1")
+        if self.wlan not in _WLANS:
+            raise ValueError(f"wlan must be one of {_WLANS}")
+        if not 0.0 < self.multicast_rate_fraction <= 1.0:
+            raise ValueError("multicast_rate_fraction must be in (0, 1]")
+        if self.grouping not in _GROUPINGS:
+            raise ValueError(f"grouping must be one of {_GROUPINGS}")
+        if self.target_fps <= 0:
+            raise ValueError("target_fps must be positive")
+        if self.cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+
+    @property
+    def num_rooms(self) -> int:
+        return len(self.rooms)
+
+    @property
+    def num_ticks(self) -> int:
+        """Delivery evaluation instants: one per tick over the scenario."""
+        return max(1, int(round(self.duration_s / self.tick_s)))
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(room.capacity for room in self.rooms)
+
+    def room_index(self, name: str) -> int:
+        for i, room in enumerate(self.rooms):
+            if room.name == name:
+                return i
+        raise KeyError(f"no room {name!r}")
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def uniform(
+        num_rooms: int,
+        capacity: int,
+        initial_users: int = 0,
+        arrival_rate_hz: float = 0.2,
+        mean_dwell_s: float = 60.0,
+        quality: str = "high",
+        flash_crowd_room: int = -1,
+        flash_crowd_at_s: float = 0.0,
+        flash_crowd_size: int = 0,
+        **venue_kwargs: Any,
+    ) -> "VenueSpec":
+        """A venue of identical rooms (``room0``..), one AP per room.
+
+        ``flash_crowd_room`` picks the single room that receives the burst
+        (negative disables it) — the canonical "everyone rushes to the main
+        stage" stress case.
+        """
+        if num_rooms < 1:
+            raise ValueError("num_rooms must be >= 1")
+        rooms = []
+        for i in range(num_rooms):
+            burst = flash_crowd_size if i == flash_crowd_room else 0
+            rooms.append(
+                RoomSpec(
+                    name=f"room{i}",
+                    ap=f"ap{i}",
+                    capacity=capacity,
+                    initial_users=initial_users,
+                    arrival_rate_hz=arrival_rate_hz,
+                    mean_dwell_s=mean_dwell_s,
+                    quality=quality,
+                    flash_crowd_at_s=flash_crowd_at_s if burst else None,
+                    flash_crowd_size=burst,
+                )
+            )
+        return VenueSpec(rooms=tuple(rooms), **venue_kwargs)
+
+    def with_rooms(self, rooms: tuple[RoomSpec, ...]) -> "VenueSpec":
+        return replace(self, rooms=rooms)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """JSON-able venue description (``repro scenario --spec`` files)."""
+        return {
+            "rooms": [
+                {
+                    "name": room.name,
+                    "ap": room.ap,
+                    "capacity": room.capacity,
+                    "initial_users": room.initial_users,
+                    "arrival_rate_hz": room.arrival_rate_hz,
+                    "mean_dwell_s": room.mean_dwell_s,
+                    "quality": room.quality,
+                    "flash_crowd_at_s": room.flash_crowd_at_s,
+                    "flash_crowd_size": room.flash_crowd_size,
+                }
+                for room in self.rooms
+            ],
+            "duration_s": self.duration_s,
+            "tick_s": self.tick_s,
+            "seed": self.seed,
+            "archetypes": self.archetypes,
+            "wlan": self.wlan,
+            "multicast_rate_fraction": self.multicast_rate_fraction,
+            "grouping": self.grouping,
+            "min_group_iou": self.min_group_iou,
+            "target_fps": self.target_fps,
+            "cell_size": self.cell_size,
+        }
+
+    @staticmethod
+    def from_jsonable(doc: dict[str, Any]) -> "VenueSpec":
+        if "rooms" not in doc:
+            raise ValueError("venue spec must have a 'rooms' list")
+        room_names = {f.name for f in fields(RoomSpec)}
+        venue_names = {f.name for f in fields(VenueSpec)} - {"rooms"}
+        for i, room in enumerate(doc["rooms"]):
+            unknown = sorted(set(room) - room_names)
+            if unknown:
+                raise ValueError(
+                    f"rooms[{i}] has unknown field(s) {unknown}; "
+                    f"valid fields: {sorted(room_names)}"
+                )
+        unknown = sorted(set(doc) - venue_names - {"rooms"})
+        if unknown:
+            raise ValueError(
+                f"venue spec has unknown field(s) {unknown}; "
+                f"valid fields: {sorted(venue_names)}"
+            )
+        rooms = tuple(RoomSpec(**room) for room in doc["rooms"])
+        venue_fields = {k: v for k, v in doc.items() if k != "rooms"}
+        return VenueSpec(rooms=rooms, **venue_fields)

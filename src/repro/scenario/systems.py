@@ -1,0 +1,100 @@
+"""Declarative system configurations shared by scaling and venue runs.
+
+The five systems of the headline scaling sweep (vanilla/ViVo on the two
+WLAN calibrations, plus the similarity-multicast design) used to live as a
+hand-rolled loop inside ``experiments/scaling.py``.  They are data, not
+control flow — each is a :class:`SystemSpec`, and
+:func:`session_config_for` builds the corresponding
+:class:`~repro.core.SessionConfig`.  The venue shard engine reuses the
+same WLAN selection through :func:`capacity_model`, so per-AP capacity in
+a venue and the scaling ladder are calibrated identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import CapacityRateProvider, FixedQualityPolicy, SessionConfig
+from ..mac import AC_MODEL, AD_MODEL
+from ..mac.wlan import WlanCapacityModel
+from ..pointcloud import PointCloudVideo, VisibilityConfig
+from ..traces import UserStudy
+
+__all__ = [
+    "SystemSpec",
+    "SCALING_SYSTEM_SPECS",
+    "capacity_model",
+    "rate_provider_for",
+    "session_config_for",
+]
+
+
+def capacity_model(wlan: str) -> WlanCapacityModel:
+    """The calibrated aggregate-capacity model for a WLAN flavour."""
+    if wlan == "ac":
+        return AC_MODEL
+    if wlan == "ad":
+        return AD_MODEL
+    raise ValueError(f"unknown wlan {wlan!r}; expected 'ac' or 'ad'")
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One end-to-end system configuration, as data.
+
+    ``grouping`` of ``"none"`` means pure unicast; anything else enables
+    the similarity multicast path and charges ``multicast_rate_fraction``
+    (the group-minimum-MCS penalty) on the shared transmissions.
+    """
+
+    label: str
+    wlan: str  # "ac" | "ad"
+    vivo: bool  # visibility-aware fetching on?
+    grouping: str  # "none" | "greedy" | "exhaustive"
+
+
+# The paper's five-system ladder, in its presentation order.
+SCALING_SYSTEM_SPECS: tuple[SystemSpec, ...] = (
+    SystemSpec(label="802.11ac vanilla", wlan="ac", vivo=False, grouping="none"),
+    SystemSpec(label="802.11ac ViVo", wlan="ac", vivo=True, grouping="none"),
+    SystemSpec(label="802.11ad vanilla", wlan="ad", vivo=False, grouping="none"),
+    SystemSpec(label="802.11ad ViVo", wlan="ad", vivo=True, grouping="none"),
+    SystemSpec(
+        label="802.11ad ViVo+multicast", wlan="ad", vivo=True, grouping="greedy"
+    ),
+)
+
+
+def rate_provider_for(
+    system: SystemSpec, num_users: int, multicast_rate_fraction: float
+) -> CapacityRateProvider:
+    """The calibrated rate provider for one system at one user count."""
+    return CapacityRateProvider(
+        model=capacity_model(system.wlan),
+        num_users=num_users,
+        multicast_rate_fraction=(
+            multicast_rate_fraction if system.grouping != "none" else 1.0
+        ),
+    )
+
+
+def session_config_for(
+    system: SystemSpec,
+    video: PointCloudVideo,
+    study: UserStudy,
+    quality: str,
+    duration_s: float,
+    multicast_rate_fraction: float,
+) -> SessionConfig:
+    """The streaming session configuration one system runs with."""
+    return SessionConfig(
+        video=video,
+        study=study,
+        rates=rate_provider_for(system, len(study), multicast_rate_fraction),
+        visibility=(
+            VisibilityConfig() if system.vivo else VisibilityConfig.vanilla()
+        ),
+        grouping=system.grouping,
+        adaptation=FixedQualityPolicy(quality),
+        duration_s=duration_s,
+    )

@@ -33,3 +33,11 @@ def set_order(items):
     listed = list({1, 2, 3})  # D104: list(...) over a set display
     comp = [x for x in set(items)]  # D104: comprehension over set(...)
     return out, listed, comp
+
+
+def shard_order(by_room, shard_results):
+    totals = []
+    for room, report in by_room.items():  # D105: shard/room dict order
+        totals.append((room, report))
+    names = [shard for shard in shard_results.keys()]  # D105
+    return totals, names

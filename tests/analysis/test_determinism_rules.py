@@ -12,7 +12,7 @@ def rules_of(findings):
 def test_fixture_fires_every_determinism_rule(fixture_findings):
     findings = fixture_findings("bad_determinism.py")
     assert rules_of(findings) == Counter(
-        {"D101": 2, "D102": 2, "D103": 2, "D104": 3}
+        {"D101": 2, "D102": 2, "D103": 2, "D104": 3, "D105": 2}
     )
 
 
@@ -56,3 +56,54 @@ def test_sorted_set_iteration_allowed():
 def test_set_display_in_for_loop_flagged():
     src = "for x in {1, 2, 3}:\n    print(x)\n"
     assert [f.rule for f in analyze_source(src)] == ["D104"]
+
+
+def test_shard_dict_iteration_flagged_unless_sorted():
+    bad = (
+        "def merge(by_shard):\n"
+        "    return [v for k, v in by_shard.items()]\n"
+    )
+    good = (
+        "def merge(by_shard):\n"
+        "    return [v for k, v in sorted(by_shard.items())]\n"
+    )
+    assert [f.rule for f in analyze_source(bad)] == ["D105"]
+    assert analyze_source(good) == []
+
+
+def test_shard_tokens_match_whole_tokens_only():
+    # `maps`/`shape` contain "ap"/"ha" substrings but are not AP dicts.
+    clean = (
+        "def f(maps, shape_info):\n"
+        "    a = [v for v in maps.values()]\n"
+        "    b = [k for k in shape_info.keys()]\n"
+        "    return a, b\n"
+    )
+    assert analyze_source(clean) == []
+    flagged = (
+        "def f(room_reports, aps):\n"
+        "    for room, r in room_reports.items():\n"
+        "        pass\n"
+        "    for ap in aps.keys():\n"
+        "        pass\n"
+    )
+    assert [f.rule for f in analyze_source(flagged)] == ["D105", "D105"]
+
+
+def test_shard_dict_attribute_access_flagged():
+    src = (
+        "def f(state):\n"
+        "    return [k for k in state.by_room.keys()]\n"
+    )
+    assert [f.rule for f in analyze_source(src)] == ["D105"]
+
+
+def test_shard_dict_noqa_suppresses():
+    src = (
+        "def f(by_shard):\n"
+        "    return [  # order is display-only here\n"
+        "        v for v in by_shard.values()  # repro: noqa[D105]\n"
+        "    ]\n"
+    )
+    (finding,) = analyze_source(src)
+    assert finding.rule == "D105" and finding.suppressed

@@ -1,0 +1,49 @@
+"""Golden equivalence: vectorized codebook gain path vs. the per-beam loop.
+
+The cached ``weight_matrix`` must hold exactly the per-beam weight rows
+(bitwise — downstream RSS sweeps depend on it), and the vectorized
+``gains_toward`` must match the retained per-beam reference
+``gains_toward_reference`` to float tolerance (the matmul takes a
+different BLAS path than the per-row dot products, so rtol-level
+agreement is the correct contract there).
+"""
+
+import numpy as np
+
+from repro.mmwave import Codebook, PhasedArray
+
+
+def _codebook():
+    return Codebook(array=PhasedArray(), num_az=16)
+
+
+def test_weight_matrix_rows_are_beam_weights_bitwise():
+    codebook = _codebook()
+    assert codebook.weight_matrix.shape == (
+        len(codebook), codebook.array.num_elements
+    )
+    for i, beam in enumerate(codebook.beams):
+        assert np.array_equal(codebook.weight_matrix[i], beam.weights)
+
+
+def test_gains_toward_matches_reference():
+    codebook = _codebook()
+    rng = np.random.default_rng(3)
+    for _ in range(20):
+        az = float(rng.uniform(-np.pi, np.pi))
+        el = float(rng.uniform(-np.pi / 2, np.pi / 2))
+        fast = codebook.gains_toward(az, el)
+        slow = codebook.gains_toward_reference(az, el)
+        assert fast.shape == slow.shape
+        np.testing.assert_allclose(fast, slow, rtol=1e-10, atol=1e-10)
+
+
+def test_gains_toward_best_beam_agrees_with_reference():
+    codebook = _codebook()
+    rng = np.random.default_rng(17)
+    for _ in range(50):
+        az = float(rng.uniform(-np.pi, np.pi))
+        el = float(rng.uniform(-0.4, 0.4))
+        fast = codebook.gains_toward(az, el)
+        slow = codebook.gains_toward_reference(az, el)
+        assert int(np.argmax(fast)) == int(np.argmax(slow))

@@ -1,0 +1,141 @@
+"""`repro bench --kernels`: schema, the speedup gate, and the committed point.
+
+The kernel gate is a *ratio* gate — current speedup vs. the baseline's
+``min_speedup`` floor — so these tests never assert absolute wall times,
+and the committed ``BENCH_2.json`` check asserts the recorded speedups
+(measured once, on the machine that produced the point) rather than
+re-measuring.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    KERNEL_MIN_SPEEDUP,
+    compare_bench,
+    main as bench_main,
+    run_kernel_bench,
+    validate_bench,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _doc(kernels=()):
+    return {
+        "schema": BENCH_SCHEMA,
+        "scale": "small",
+        "workers": 1,
+        "experiments": [],
+        "total_wall_s": 0.0,
+        "kernels": list(kernels),
+    }
+
+
+def _kernel(name, speedup, min_speedup=5.0):
+    return {
+        "name": name,
+        "scalar_wall_s": 1.0,
+        "vectorized_wall_s": 1.0 / speedup,
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+    }
+
+
+@pytest.fixture(scope="module")
+def kernel_entries():
+    # Tiny population: this fixture checks shape, not the 1000-user floor.
+    return run_kernel_bench(num_users=48)
+
+
+def test_run_kernel_bench_covers_every_gated_kernel(kernel_entries):
+    names = [entry["name"] for entry in kernel_entries]
+    assert names == [
+        "pairwise_similarity_48", "occlusion_mask", "beam_gains",
+    ]
+    for entry in kernel_entries:
+        assert entry["scalar_wall_s"] > 0
+        assert entry["vectorized_wall_s"] > 0
+        assert entry["speedup"] > 0
+        assert entry["min_speedup"] > 0
+    doc = _doc(kernel_entries)
+    validate_bench(doc)  # must not raise
+
+
+def test_validate_bench_reports_kernel_problems():
+    bad = _doc([{"name": "x", "scalar_wall_s": -1.0, "min_speedup": 0.0}])
+    with pytest.raises(ValueError) as err:
+        validate_bench(bad)
+    message = str(err.value)
+    assert "kernels[0] missing key 'speedup'" in message
+    assert "scalar_wall_s must be non-negative" in message
+    assert "min_speedup must be positive" in message
+    with pytest.raises(ValueError, match="'kernels' must be a list"):
+        validate_bench({**_doc(), "kernels": "nope"})
+
+
+def test_compare_gates_speedup_against_the_baseline_floor():
+    baseline = _doc([_kernel("pairwise_similarity_1000", 9.0, 5.0)])
+    # Slower box, but still past the floor: no regression.
+    assert compare_bench(
+        _doc([_kernel("pairwise_similarity_1000", 5.2, 5.0)]), baseline
+    ) == []
+    # Below the *baseline's* floor: regression, whatever current's floor says.
+    bad = compare_bench(
+        _doc([_kernel("pairwise_similarity_1000", 3.0, 1.0)]), baseline
+    )
+    assert len(bad) == 1
+    assert "3.00x" in bad[0] and "floor 5.00x" in bad[0]
+    # Kernels absent from the baseline are not comparable.
+    assert compare_bench(_doc([_kernel("novel", 1.0)]), baseline) == []
+    # Experiment-only documents still compare cleanly.
+    assert compare_bench(_doc(), _doc()) == []
+
+
+def test_committed_bench_points_validate_and_record_the_win():
+    seed = json.loads(
+        (_REPO_ROOT / "BENCH_1.json").read_text(encoding="utf-8")
+    )
+    point = json.loads(
+        (_REPO_ROOT / "BENCH_2.json").read_text(encoding="utf-8")
+    )
+    validate_bench(seed)
+    validate_bench(point)
+    assert "kernels" not in seed  # the pre-vectorization baseline
+    kernels = {entry["name"]: entry for entry in point["kernels"]}
+    assert set(kernels) == set(KERNEL_MIN_SPEEDUP)
+    for name, entry in kernels.items():
+        assert entry["min_speedup"] == KERNEL_MIN_SPEEDUP[name]
+        assert entry["speedup"] >= entry["min_speedup"], (
+            f"{name} was committed below its own floor"
+        )
+    # The acceptance point: >=5x on the 1,000-user pairwise microbench.
+    assert kernels["pairwise_similarity_1000"]["speedup"] >= 5.0
+
+
+def test_main_kernels_only_writes_a_gateable_point(tmp_path, capsys):
+    out_dir = tmp_path / "points"
+    code = bench_main(["--kernels", "--out-dir", str(out_dir)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "kernel pairwise_similarity_1000" in out
+    doc = json.loads(
+        (out_dir / "BENCH_1.json").read_text(encoding="utf-8")
+    )
+    validate_bench(doc)
+    assert doc["experiments"] == []
+    assert [k["name"] for k in doc["kernels"]] == [
+        "pairwise_similarity_1000", "occlusion_mask", "beam_gains",
+    ]
+
+    # The fresh point gates cleanly against the committed floors (the
+    # ratio gate, so this holds on any machine with working BLAS).
+    baseline = json.loads(
+        (_REPO_ROOT / "BENCH_2.json").read_text(encoding="utf-8")
+    )
+    assert compare_bench(doc, baseline) == []

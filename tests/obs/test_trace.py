@@ -150,5 +150,10 @@ def test_correlation_helper_drops_unset_fields():
     assert trace.correlation(frame=0, user=0, users=[2, 1]) == {
         "frame": 0, "user": 0, "users": [2, 1],
     }
+    assert trace.correlation(room="room0", ap="ap0") == {
+        "room": "room0", "ap": "ap0",
+    }
     # The declared correlation field names are what spans join on.
-    assert trace.CORRELATION_FIELDS == ("unit", "frame", "user", "users")
+    assert trace.CORRELATION_FIELDS == (
+        "unit", "room", "ap", "frame", "user", "users"
+    )

@@ -23,6 +23,7 @@ MODULE_EXPERIMENTS = {
     "fig3d": ("fig3d",),
     "fig3e": ("fig3e",),
     "scaling": ("scaling",),
+    "venue_scale": ("venue_scale",),
     "loss_sweep": ("loss_sweep",),
     "ablations": (
         "ablation_prediction",

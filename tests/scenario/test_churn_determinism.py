@@ -1,0 +1,94 @@
+"""Property tests (hypothesis): sharding never changes who shows up when.
+
+The venue contract is that every room's arrival/departure sequence is a
+pure function of ``(venue, room_index)``.  These properties drive random
+venues and random shardings and assert the churn — sessions and the
+sorted event schedules — is *bit-identical* (tuple equality over float
+timestamps, no tolerance) whether rooms are materialized serially, shard
+by shard, or under any shard count.  The planner's partition itself is
+checked for the invariants the merge relies on: it covers every room
+exactly once, in contiguous, balanced, ordered slices.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scenario import (
+    VenueSpec,
+    room_schedule,
+    room_sessions,
+    shard_rooms,
+)
+
+venues = st.builds(
+    VenueSpec.uniform,
+    num_rooms=st.integers(min_value=1, max_value=8),
+    capacity=st.integers(min_value=1, max_value=60),
+    initial_users=st.just(0),
+    arrival_rate_hz=st.floats(min_value=0.0, max_value=5.0),
+    mean_dwell_s=st.floats(min_value=0.1, max_value=100.0),
+    flash_crowd_room=st.integers(min_value=-1, max_value=7),
+    flash_crowd_at_s=st.floats(min_value=0.0, max_value=10.0),
+    flash_crowd_size=st.integers(min_value=0, max_value=20),
+    duration_s=st.floats(min_value=1.0, max_value=12.0),  # >= default tick_s
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    archetypes=st.integers(min_value=1, max_value=8),
+)
+
+
+@given(
+    num_rooms=st.integers(min_value=1, max_value=64),
+    num_shards=st.integers(min_value=1, max_value=96),
+)
+@settings(max_examples=120, deadline=None)
+def test_shard_rooms_is_a_contiguous_balanced_partition(num_rooms, num_shards):
+    shards = shard_rooms(num_rooms, num_shards)
+    flat = [ri for shard in shards for ri in shard]
+    assert flat == list(range(num_rooms))  # covers all rooms, in order
+    assert all(shard for shard in shards)  # never an empty shard
+    assert len(shards) == min(num_shards, num_rooms)
+    sizes = [len(shard) for shard in shards]
+    assert max(sizes) - min(sizes) <= 1  # balanced
+    for shard in shards:
+        assert list(shard) == list(range(shard[0], shard[-1] + 1))
+
+
+@given(venue=venues, num_shards=st.integers(min_value=1, max_value=12))
+@settings(max_examples=40, deadline=None)
+def test_sessions_bit_identical_serial_vs_sharded(venue, num_shards):
+    serial = [room_sessions(venue, ri) for ri in range(venue.num_rooms)]
+    sharded = {}
+    for shard in shard_rooms(venue.num_rooms, num_shards):
+        for ri in shard:
+            sharded[ri] = room_sessions(venue, ri)
+    for ri, expect in enumerate(serial):
+        assert sharded[ri] == expect  # dataclass eq: exact floats, no rtol
+
+
+@given(
+    venue=venues,
+    shards_a=st.integers(min_value=1, max_value=12),
+    shards_b=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=40, deadline=None)
+def test_schedules_invariant_to_shard_count(venue, shards_a, shards_b):
+    def materialize(num_shards):
+        out = {}
+        for shard in shard_rooms(venue.num_rooms, num_shards):
+            for ri in shard:
+                out[ri] = room_schedule(
+                    room_sessions(venue, ri), venue.duration_s
+                )
+        return out
+
+    a = materialize(shards_a)
+    b = materialize(shards_b)
+    assert a == b  # tuple equality: bit-identical timestamps and order
+
+
+@given(venue=venues)
+@settings(max_examples=40, deadline=None)
+def test_room_stream_ignores_other_rooms(venue):
+    """Room k's churn must not depend on the rooms around it."""
+    sessions = room_sessions(venue, 0)
+    solo = venue.with_rooms(venue.rooms[:1])
+    assert room_sessions(solo, 0) == sessions

@@ -1,0 +1,92 @@
+"""Per-room population processes: draw structure, schedules, determinism."""
+
+from repro.scenario import (
+    ARRIVE,
+    DEPART,
+    VenueSpec,
+    room_schedule,
+    room_sessions,
+)
+
+
+def _venue(**overrides):
+    fields = dict(
+        num_rooms=3, capacity=30, initial_users=5, arrival_rate_hz=1.0,
+        mean_dwell_s=4.0, duration_s=6.0, seed=11,
+    )
+    fields.update(overrides)
+    num_rooms = fields.pop("num_rooms")
+    capacity = fields.pop("capacity")
+    return VenueSpec.uniform(num_rooms, capacity, **fields)
+
+
+def test_sessions_sorted_with_unique_ids_and_valid_intervals():
+    venue = _venue()
+    sessions = room_sessions(venue, 0)
+    arrivals = [s.arrival_s for s in sessions]
+    assert arrivals == sorted(arrivals)
+    ids = [s.user_id for s in sessions]
+    assert len(set(ids)) == len(ids)
+    assert all(s.departure_s >= s.arrival_s for s in sessions)
+    assert all(s.room == "room0" for s in sessions)
+    assert all(0 <= s.archetype < venue.archetypes for s in sessions)
+
+
+def test_initial_users_arrive_at_time_zero():
+    venue = _venue(initial_users=5, arrival_rate_hz=0.0)
+    sessions = room_sessions(venue, 1)
+    assert len(sessions) == 5
+    assert all(s.arrival_s == 0.0 for s in sessions)
+
+
+def test_flash_crowd_adds_burst_at_the_configured_instant():
+    quiet = _venue(arrival_rate_hz=0.0, initial_users=0)
+    burst = _venue(
+        arrival_rate_hz=0.0, initial_users=0,
+        flash_crowd_room=2, flash_crowd_at_s=3.0, flash_crowd_size=7,
+    )
+    assert room_sessions(quiet, 2) == ()
+    sessions = room_sessions(burst, 2)
+    assert len(sessions) == 7
+    assert all(s.arrival_s == 3.0 for s in sessions)
+    # Other rooms are untouched by room 2's burst.
+    assert room_sessions(burst, 0) == room_sessions(quiet, 0)
+
+
+def test_rooms_draw_from_independent_streams():
+    venue = _venue()
+    a = room_sessions(venue, 0)
+    b = room_sessions(venue, 1)
+    assert a != b  # same spec, different per-room streams
+    assert room_sessions(venue, 0) == a  # and each replays exactly
+
+
+def test_seed_changes_the_population():
+    assert room_sessions(_venue(seed=1), 0) != room_sessions(_venue(seed=2), 0)
+
+
+def test_schedule_is_sorted_and_windowed():
+    venue = _venue()
+    sessions = room_sessions(venue, 0)
+    events = room_schedule(sessions, venue.duration_s)
+    assert list(events) == sorted(events)
+    assert all(0.0 <= t < venue.duration_s for t, _, _ in events)
+    arrivals = sum(1 for _, kind, _ in events if kind == ARRIVE)
+    departures = sum(1 for _, kind, _ in events if kind == DEPART)
+    assert arrivals == sum(
+        1 for s in sessions if s.arrival_s < venue.duration_s
+    )
+    assert departures <= arrivals  # departures past the end are dropped
+
+
+def test_same_instant_arrivals_sort_before_departures():
+    assert ARRIVE < DEPART
+    venue = _venue(
+        arrival_rate_hz=0.0, initial_users=0,
+        flash_crowd_room=0, flash_crowd_at_s=2.0, flash_crowd_size=4,
+    )
+    sessions = room_sessions(venue, 0)
+    events = room_schedule(sessions, venue.duration_s)
+    same_instant = [e for e in events if e[0] == 2.0]
+    kinds = [kind for _, kind, _ in same_instant]
+    assert kinds == sorted(kinds)

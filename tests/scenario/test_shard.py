@@ -1,0 +1,113 @@
+"""Shard engine + planner merge: admission, empty rooms, shard invariance."""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    VenueSpec,
+    merge_shard_results,
+    run_shard,
+    shard_rooms,
+    venue_summary,
+)
+
+
+def _venue(**overrides):
+    fields = dict(
+        num_rooms=3, capacity=8, initial_users=4, arrival_rate_hz=1.0,
+        mean_dwell_s=2.0, quality="medium", duration_s=3.0, tick_s=1.0,
+        seed=23, archetypes=3,
+    )
+    fields.update(overrides)
+    num_rooms = fields.pop("num_rooms")
+    capacity = fields.pop("capacity")
+    return VenueSpec.uniform(num_rooms, capacity, **fields)
+
+
+def _merged(venue, num_shards):
+    return merge_shard_results(
+        [
+            run_shard(venue, shard)
+            for shard in shard_rooms(venue.num_rooms, num_shards)
+        ]
+    )
+
+
+def test_merged_results_bit_identical_across_shard_counts():
+    venue = _venue()
+    reports = {n: _merged(venue, n) for n in (1, 2, 3)}
+    blobs = {
+        n: json.dumps(report, sort_keys=True)
+        for n, report in reports.items()
+    }
+    assert blobs[1] == blobs[2] == blobs[3]
+    assert reports[1]["venue"]["rooms"] == 3
+
+
+def test_capacity_rejections_and_ignored_departures():
+    # Capacity 2, two occupants from t=0 with ~forever dwell, then a
+    # 3-user burst at t=0.5: every burst arrival must bounce, and the
+    # bounced users' departures must not decrement anyone.
+    venue = _venue(
+        num_rooms=1, capacity=2, initial_users=2, arrival_rate_hz=0.0,
+        mean_dwell_s=1e6, flash_crowd_room=0, flash_crowd_at_s=0.5,
+        flash_crowd_size=3,
+    )
+    (room,) = run_shard(venue, (0,))["rooms"]
+    assert room["sessions"] == 5
+    assert room["arrivals"] == 2
+    assert room["rejected"] == 3
+    assert room["departures"] == 0  # dwell far exceeds the scenario
+    assert room["peak_active"] == 2
+
+
+def test_empty_room_ticks_at_target_fps_with_zero_airtime():
+    venue = _venue(
+        num_rooms=1, capacity=4, initial_users=0, arrival_rate_hz=0.0,
+    )
+    (room,) = run_shard(venue, (0,))["rooms"]
+    assert room["sessions"] == 0
+    assert len(room["ticks"]) == venue.num_ticks
+    assert all(t["active"] == 0 for t in room["ticks"])
+    assert all(t["fps"] == venue.target_fps for t in room["ticks"])
+    assert room["total_airtime_s"] == 0.0
+    assert room["mean_fps"] == venue.target_fps
+
+
+def test_occupied_room_reports_positive_airtime_and_bounded_fps():
+    venue = _venue(num_rooms=1)
+    (room,) = run_shard(venue, (0,))["rooms"]
+    busy = [t for t in room["ticks"] if t["active"] > 0]
+    assert busy, "seeded venue should have occupied ticks"
+    for tick in busy:
+        assert tick["airtime_s"] > 0.0
+        assert 0.0 < tick["fps"] <= venue.target_fps
+
+
+def test_run_shard_rejects_empty_shard():
+    with pytest.raises(ValueError):
+        run_shard(_venue(), ())
+
+
+def test_merge_rejects_duplicate_rooms():
+    venue = _venue(num_rooms=2)
+    shard = run_shard(venue, (0,))
+    with pytest.raises(ValueError, match="duplicate"):
+        merge_shard_results([shard, shard])
+
+
+def test_venue_summary_over_no_occupied_ticks():
+    rooms = [
+        {
+            "room": "room0", "ap": "ap0", "room_index": 0, "sessions": 0,
+            "arrivals": 0, "rejected": 0, "departures": 0, "peak_active": 0,
+            "ticks": [{"tick": 0, "t": 0.0, "active": 0, "groups": 0,
+                       "airtime_s": 0.0, "fps": 30.0}],
+            "mean_fps": 30.0, "total_airtime_s": 0.0,
+        }
+    ]
+    summary = venue_summary(rooms)
+    assert summary["mean_fps"] is None
+    assert summary["worst_tick_fps"] is None
+    assert summary["sessions"] == 0

@@ -1,0 +1,144 @@
+"""VenueSpec / RoomSpec: validation, the uniform factory, JSON round-trip."""
+
+import pytest
+
+from repro.scenario import RoomSpec, VenueSpec
+
+
+def _room(**overrides):
+    fields = {"name": "room0", "ap": "ap0"}
+    fields.update(overrides)
+    return RoomSpec(**fields)
+
+
+class TestRoomSpecValidation:
+    def test_defaults_are_valid(self):
+        room = _room()
+        assert room.capacity == 50 and room.flash_crowd_size == 0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"capacity": 0},
+            {"initial_users": -1},
+            {"initial_users": 51},  # exceeds default capacity
+            {"arrival_rate_hz": -0.1},
+            {"mean_dwell_s": 0.0},
+            {"quality": "ultra"},
+            {"flash_crowd_size": -1},
+            {"flash_crowd_size": 5},  # burst without flash_crowd_at_s
+        ],
+    )
+    def test_rejects_bad_fields(self, overrides):
+        with pytest.raises(ValueError):
+            _room(**overrides)
+
+    def test_flash_crowd_needs_both_fields(self):
+        room = _room(flash_crowd_at_s=2.0, flash_crowd_size=5)
+        assert room.flash_crowd_size == 5
+
+
+class TestVenueSpecValidation:
+    def test_needs_rooms(self):
+        with pytest.raises(ValueError, match="at least one room"):
+            VenueSpec(rooms=())
+
+    def test_room_names_must_be_unique(self):
+        rooms = (_room(), _room(ap="ap1"))
+        with pytest.raises(ValueError, match="unique"):
+            VenueSpec(rooms=rooms)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"duration_s": 0.0},
+            {"tick_s": 0.0},
+            {"tick_s": 20.0},  # exceeds default duration
+            {"archetypes": 0},
+            {"wlan": "ax"},
+            {"multicast_rate_fraction": 0.0},
+            {"multicast_rate_fraction": 1.5},
+            {"grouping": "optimal"},
+            {"target_fps": 0.0},
+            {"cell_size": 0.0},
+        ],
+    )
+    def test_rejects_bad_fields(self, overrides):
+        with pytest.raises(ValueError):
+            VenueSpec(rooms=(_room(),), **overrides)
+
+    def test_derived_properties(self):
+        venue = VenueSpec(
+            rooms=(_room(capacity=10), _room(name="room1", ap="ap1")),
+            duration_s=10.0,
+            tick_s=0.5,
+        )
+        assert venue.num_rooms == 2
+        assert venue.num_ticks == 20
+        assert venue.total_capacity == 60
+        assert venue.room_index("room1") == 1
+        with pytest.raises(KeyError):
+            venue.room_index("lobby")
+
+
+class TestUniformFactory:
+    def test_builds_identical_rooms_with_stable_names(self):
+        venue = VenueSpec.uniform(3, capacity=40, initial_users=10)
+        assert [r.name for r in venue.rooms] == ["room0", "room1", "room2"]
+        assert [r.ap for r in venue.rooms] == ["ap0", "ap1", "ap2"]
+        assert all(r.capacity == 40 for r in venue.rooms)
+        assert all(r.initial_users == 10 for r in venue.rooms)
+
+    def test_flash_crowd_lands_in_one_room_only(self):
+        venue = VenueSpec.uniform(
+            3, capacity=40, flash_crowd_room=1,
+            flash_crowd_at_s=2.0, flash_crowd_size=25,
+        )
+        assert [r.flash_crowd_size for r in venue.rooms] == [0, 25, 0]
+        assert venue.rooms[1].flash_crowd_at_s == 2.0
+        assert venue.rooms[0].flash_crowd_at_s is None
+
+    def test_negative_room_disables_flash_crowd(self):
+        venue = VenueSpec.uniform(
+            2, capacity=40, flash_crowd_room=-1, flash_crowd_size=25,
+        )
+        assert all(r.flash_crowd_size == 0 for r in venue.rooms)
+
+    def test_venue_kwargs_pass_through(self):
+        venue = VenueSpec.uniform(1, capacity=5, wlan="ac", seed=7)
+        assert venue.wlan == "ac" and venue.seed == 7
+
+
+def test_json_round_trip_is_identity():
+    venue = VenueSpec.uniform(
+        3, capacity=80, initial_users=20, arrival_rate_hz=1.5,
+        mean_dwell_s=12.0, quality="medium", flash_crowd_room=2,
+        flash_crowd_at_s=4.0, flash_crowd_size=30,
+        duration_s=8.0, tick_s=0.5, seed=13, archetypes=4,
+        wlan="ac", grouping="none",
+    )
+    doc = venue.to_jsonable()
+    assert VenueSpec.from_jsonable(doc) == venue
+    # The document is plain JSON data (what --spec files contain).
+    import json
+
+    assert VenueSpec.from_jsonable(json.loads(json.dumps(doc))) == venue
+
+
+class TestFromJsonableValidation:
+    def test_missing_rooms_key(self):
+        with pytest.raises(ValueError, match="'rooms'"):
+            VenueSpec.from_jsonable({"seed": 1})
+
+    def test_unknown_venue_field_named(self):
+        doc = VenueSpec.uniform(1, capacity=5).to_jsonable()
+        doc["name"] = "my-venue"
+        with pytest.raises(ValueError, match=r"unknown field\(s\) \['name'\]"):
+            VenueSpec.from_jsonable(doc)
+
+    def test_unknown_room_field_named_with_index(self):
+        doc = VenueSpec.uniform(2, capacity=5).to_jsonable()
+        doc["rooms"][1]["colour"] = "red"
+        with pytest.raises(ValueError, match=r"rooms\[1\].*\['colour'\]"):
+            VenueSpec.from_jsonable(doc)

@@ -36,6 +36,7 @@ MODULES = [
     "repro.core.qoe",
     "repro.core.grouping",
     "repro.core.mpc",
+    "repro.scenario.shard",
 ]
 
 HEADER = """\
@@ -143,6 +144,12 @@ def render() -> str:
     corr_help = {
         "unit": "the RunSpec key of the work unit, set as ambient recorder "
                 "context by the trace CLI; present on every record",
+        "room": "the venue room an event belongs to, set as ambient "
+                "recorder context by the shard engine while it runs that "
+                "room (`repro.scenario`)",
+        "ap": "the AP serving the event's room, set alongside `room` by "
+              "the shard engine; `repro obs analyze` groups its per-shard "
+              "latency attribution on (room, ap)",
         "frame": "the frame index this event contributes to (frame indices "
                  "repeat within a unit; a `net.frame_outcome` closes one "
                  "*occurrence* and later events open the next)",

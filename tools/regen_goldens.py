@@ -34,7 +34,9 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "experiments" / "goldens"
 # The regression net: one fixture per experiment, at the small scale the
 # CI golden job runs.  Tolerances absorb last-bit libm/BLAS differences
 # across platforms while still failing on any real numeric drift.
-GOLDEN_EXPERIMENTS = ("table1", "fig2a", "fig2b", "fig3d", "loss_sweep")
+GOLDEN_EXPERIMENTS = (
+    "table1", "fig2a", "fig2b", "fig3d", "loss_sweep", "venue_scale",
+)
 RTOL = 1e-6
 ATOL = 1e-9
 
