@@ -4,17 +4,42 @@ A baseline is a JSON list of ``{"path", "rule", "line"}`` records.  It lets
 the lint gate land before every legacy violation is fixed: known findings
 are demoted to suppressed, anything new still fails.  The repo's goal state
 is an *empty* baseline — the tree itself lints clean.
+
+Paths are normalized to **repo-relative POSIX** form on both write and
+load, so a baseline written from the repo root still matches findings
+produced from a subdirectory, an absolute invocation, or Windows
+separators — and the file itself is byte-stable across machines.
 """
 
 from __future__ import annotations
 
 import json
-from pathlib import Path
+from pathlib import Path, PurePosixPath, PureWindowsPath
 from typing import Iterable
 
 from .findings import Finding
+from .paths import repo_relative
 
 __all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+
+def _norm_path(path: str) -> str:
+    """Canonical repo-relative POSIX form of a finding/baseline path."""
+    # Normalize separators first so a Windows-written baseline loads
+    # anywhere, then strip the repo prefix from absolute/cwd-relative
+    # paths.  Already-relative POSIX paths that exist under the repo root
+    # pass through unchanged.
+    text = str(PureWindowsPath(path).as_posix()) if "\\" in path else path
+    pure = PurePosixPath(text)
+    if not pure.is_absolute() and not Path(text).exists():
+        # A repo-relative record loaded from elsewhere: keep verbatim.
+        return str(pure)
+    return repo_relative(text)
+
+
+def _norm_key(key: tuple[str, str, int]) -> tuple[str, str, int]:
+    path, rule, line = key
+    return (_norm_path(path), rule, line)
 
 
 def load_baseline(path: Path | str) -> set[tuple[str, str, int]]:
@@ -27,19 +52,33 @@ def load_baseline(path: Path | str) -> set[tuple[str, str, int]]:
         raise ValueError(f"baseline {path} must be a JSON list")
     keys: set[tuple[str, str, int]] = set()
     for record in records:
-        keys.add((str(record["path"]), str(record["rule"]), int(record["line"])))
+        keys.add(
+            _norm_key(
+                (str(record["path"]), str(record["rule"]), int(record["line"]))
+            )
+        )
     return keys
 
 
 def write_baseline(path: Path | str, findings: Iterable[Finding]) -> int:
     """Persist the unsuppressed findings as the new baseline; returns count."""
-    records = [
-        {"path": f.path, "rule": f.rule, "line": f.line}
-        for f in sorted(findings)
-        if not f.suppressed
-    ]
+    records = sorted(
+        {
+            (_norm_path(f.path), f.rule, f.line)
+            for f in findings
+            if not f.suppressed
+        }
+    )
     Path(path).write_text(
-        json.dumps(records, indent=2) + "\n", encoding="utf-8"
+        json.dumps(
+            [
+                {"path": rec_path, "rule": rule, "line": line}
+                for rec_path, rule, line in records
+            ],
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
     )
     return len(records)
 
@@ -49,5 +88,6 @@ def apply_baseline(
 ) -> list[Finding]:
     """Mark findings present in the baseline as suppressed."""
     return [
-        f.as_suppressed() if f.key() in baseline else f for f in findings
+        f.as_suppressed() if _norm_key(f.key()) in baseline else f
+        for f in findings
     ]

@@ -1,7 +1,15 @@
 """CLI for the analyzer: ``python -m repro.analysis`` / ``repro lint``.
 
+Two tiers share this entry point:
+
+- the default per-file tier (D1xx/U2xx/S3xx/H4xx/H5xx style rules);
+- ``--project``: the whole-program tier (R5xx/G6xx/P7xx) — symbol
+  tables, call graph, reachability from the concurrency entry points.
+
 Exit status is 0 when no unsuppressed finding remains, 1 otherwise, 2 for
 usage errors — so the CI lint job fails a PR that introduces a violation.
+``--format json|sarif`` prints a machine-readable document instead of the
+text listing (or writes it to ``--output`` and prints the summary).
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from pathlib import Path
 from .baseline import apply_baseline, load_baseline, write_baseline
 from .engine import AnalysisEngine
 from .rules import ALL_RULES, rules_by_family
+from .sarif import render
 
 
 def _default_target() -> Path:
@@ -21,11 +30,20 @@ def _default_target() -> Path:
 
 
 def _list_rules() -> str:
+    from .project.report import PROJECT_RULE_CATALOG
+
     lines = []
     for family, rules in sorted(rules_by_family().items()):
         lines.append(f"{family}:")
         for rule in rules:
             lines.append(f"  {rule.rule_id}  {rule.summary}")
+    families: dict[str, list] = {}
+    for meta in PROJECT_RULE_CATALOG:
+        families.setdefault(meta.family, []).append(meta)
+    for family in sorted(families):
+        lines.append(f"{family} (--project):")
+        for meta in sorted(families[family], key=lambda m: m.rule_id):
+            lines.append(f"  {meta.rule_id}  {meta.summary}")
     return "\n".join(lines)
 
 
@@ -35,7 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "Repo-specific static analysis: determinism, unit-suffix, "
-            "sim-process, and API-hygiene lints."
+            "sim-process, and API-hygiene lints; with --project, "
+            "whole-program RNG-provenance, shared-state, and cache-purity "
+            "analysis."
         ),
         epilog="Suppress a finding in place with `# repro: noqa[RULE]`.",
     )
@@ -44,6 +64,27 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         type=Path,
         help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "run the whole-program tier (R5xx/G6xx/P7xx) over one package "
+            "root instead of the per-file rules"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        metavar="FILE",
+        help="write the json/sarif document to FILE instead of stdout",
     )
     parser.add_argument(
         "--select",
@@ -96,6 +137,14 @@ def _select_rules(spec: str | None):
     return selected
 
 
+def _emit_document(args, findings, project_meta) -> None:
+    text = render(args.fmt, findings, project_meta)
+    if args.output is not None:
+        args.output.write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro lint`` (returns a process exit status)."""
     parser = build_parser()
@@ -105,9 +154,28 @@ def main(argv: list[str] | None = None) -> int:
         print(_list_rules())
         return 0
 
-    rules = _select_rules(args.select)
-    paths = args.paths or [_default_target()]
-    findings = AnalysisEngine(rules).analyze_paths(paths)
+    project_meta = None
+    if args.project:
+        from .project import analyze_project
+
+        if len(args.paths) > 1:
+            parser.error("--project takes a single package root")
+        if args.select is not None:
+            parser.error("--select applies to the per-file tier only")
+        root = args.paths[0] if args.paths else _default_target()
+        report = analyze_project(root)
+        findings = report.findings
+        project_meta = {
+            "root": report.root,
+            "modules": report.modules,
+            "entry_points": report.entry_points,
+            "certified": report.certified,
+            "parse_errors": report.parse_errors,
+        }
+    else:
+        rules = _select_rules(args.select)
+        paths = args.paths or [_default_target()]
+        findings = AnalysisEngine(rules).analyze_paths(paths)
 
     if args.baseline is not None:
         findings = apply_baseline(findings, load_baseline(args.baseline))
@@ -118,14 +186,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     active = [f for f in findings if not f.suppressed]
-    shown = findings if args.show_suppressed else active
-    if not args.quiet:
-        for finding in shown:
-            print(finding.format())
     suppressed = len(findings) - len(active)
     summary = f"{len(active)} finding(s)"
     if suppressed:
         summary += f", {suppressed} suppressed"
+
+    if args.fmt != "text":
+        _emit_document(args, findings, project_meta)
+        if args.output is not None:
+            print(f"{summary}; wrote {args.fmt} report to {args.output}")
+        return 1 if active else 0
+
+    shown = findings if args.show_suppressed else active
+    if not args.quiet:
+        for finding in shown:
+            print(finding.format())
     print(summary)
     return 1 if active else 0
 

@@ -19,6 +19,9 @@ class Finding:
     rule: str
     message: str = field(compare=False)
     suppressed: bool = field(default=False, compare=False)
+    # "warning" for the per-file style rules, "error" for the project-tier
+    # invariant rules; carried into the JSON/SARIF serializations.
+    severity: str = field(default="warning", compare=False)
 
     def format(self) -> str:
         tag = " (suppressed)" if self.suppressed else ""

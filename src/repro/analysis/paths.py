@@ -1,0 +1,46 @@
+"""Repo-relative path normalization shared by baselines and project reports.
+
+Findings and baseline records key on file paths; keying the *raw* string as
+given on the command line means a baseline written from one invocation root
+silently fails to suppress from another (``src/repro/x.py`` vs
+``/abs/src/repro/x.py`` vs ``repro/x.py``).  Everything that persists or
+compares paths goes through :func:`repo_relative`: resolve to an absolute
+path, strip the repository root (detected by walking up to a directory
+holding ``pyproject.toml`` or ``.git``), and render with POSIX separators.
+Paths outside any repository fall back to their absolute POSIX form, which
+is still stable for a fixed checkout.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+__all__ = ["find_repo_root", "repo_relative"]
+
+_ROOT_MARKERS = ("pyproject.toml", ".git")
+
+
+@functools.lru_cache(maxsize=256)
+def find_repo_root(start: Path) -> Path | None:
+    """The nearest ancestor of ``start`` that looks like a repo root."""
+    candidate = start if start.is_dir() else start.parent
+    for directory in (candidate, *candidate.parents):
+        if any((directory / marker).exists() for marker in _ROOT_MARKERS):
+            return directory
+    return None
+
+
+def repo_relative(path: Path | str) -> str:
+    """Normalize a path to repo-relative POSIX form (or absolute POSIX)."""
+    p = Path(path)
+    if not p.is_absolute():
+        p = Path.cwd() / p
+    p = p.resolve()
+    root = find_repo_root(p)
+    if root is not None:
+        try:
+            return p.relative_to(root).as_posix()
+        except ValueError:
+            pass
+    return p.as_posix()

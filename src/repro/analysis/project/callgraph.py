@@ -1,0 +1,303 @@
+"""Conservative call-graph construction and reachability over the model.
+
+Nodes are function qualnames plus one ``module.<module>`` pseudo-node per
+module (its import-time body).  Edges are added for:
+
+- direct calls to names resolvable through the module symbol tables and
+  import aliases (including relative imports and package re-exports);
+- constructor calls (``Cls(...)`` links to ``Cls.__init__``);
+- method calls on ``self``, on locals whose type is inferred from a
+  constructor assignment or parameter annotation, and on ``self.attr``
+  receivers typed from ``__init__`` assignments;
+- *references* to project functions in non-call position (callbacks:
+  ``pool.imap_unordered(worker_fn, ...)``, ``functools.partial(f, ...)``,
+  ``Experiment(run_one=run_one)``) — a referenced function is assumed
+  callable by the receiver;
+- as a last resort, attribute calls whose method name is defined by
+  exactly **one** project class (unique-name linking); ambiguous names are
+  dropped rather than over-approximated into everything.
+
+Function-scope ``import`` statements do **not** splice the imported
+module's body into the caller: Python imports are once-per-process and
+idempotent, so module-scope registration stays *import-time* even when the
+import is triggered lazily from a worker (that is exactly the certification
+G6xx relies on).
+
+Everything iterates in sorted order, so edge sets and BFS traversal orders
+— and therefore the reachability chains quoted in findings — are
+deterministic regardless of file discovery order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..visitor import dotted_name
+from .model import ClassInfo, FunctionInfo, ModuleInfo, ProjectModel
+
+__all__ = ["CallGraph", "build_call_graph", "LocalTypes"]
+
+
+@dataclass
+class CallGraph:
+    """Edges between function/module nodes, plus reachability queries."""
+
+    model: ProjectModel
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    # method name -> sorted qualnames of every project method with that name
+    method_index: dict[str, list[str]] = field(default_factory=dict)
+
+    def add_edge(self, src: str, dst: str) -> None:
+        self.edges.setdefault(src, set()).add(dst)
+
+    def callees(self, src: str) -> list[str]:
+        return sorted(self.edges.get(src, ()))
+
+    def reachable(self, roots: list[str]) -> dict[str, tuple[str, ...]]:
+        """BFS from ``roots``: node -> shortest call chain (root first).
+
+        Deterministic: roots and adjacency are visited in sorted order, so
+        ties in chain length always break the same way.
+        """
+        chains: dict[str, tuple[str, ...]] = {}
+        frontier = sorted(set(roots))
+        for root in frontier:
+            chains[root] = (root,)
+        while frontier:
+            nxt: list[str] = []
+            for node in frontier:
+                for callee in self.callees(node):
+                    if callee not in chains:
+                        chains[callee] = chains[node] + (callee,)
+                        nxt.append(callee)
+            frontier = sorted(nxt)
+        return chains
+
+
+class LocalTypes:
+    """Best-effort local variable -> project class types for one function."""
+
+    def __init__(
+        self,
+        model: ProjectModel,
+        module: ModuleInfo,
+        func: FunctionInfo | None,
+    ) -> None:
+        self.model = model
+        self.module = module
+        self.types: dict[str, str] = {}  # var name -> class qualname
+        if func is None:
+            return
+        if func.class_name is not None and func.params:
+            cls = module.classes.get(func.class_name)
+            if cls is not None and func.params[0] in ("self", "cls"):
+                self.types[func.params[0]] = cls.qualname
+        for arg in (
+            *func.node.args.posonlyargs,
+            *func.node.args.args,
+            *func.node.args.kwonlyargs,
+        ):
+            if arg.annotation is not None:
+                self._note(arg.arg, arg.annotation)
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._note(target.id, node.value.func)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                self._note(node.target.id, node.annotation)
+
+    def _note(self, name: str, expr: ast.expr) -> None:
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return
+        resolved = self.model.resolve(self.module, dotted)
+        if resolved is not None and resolved.kind == "class":
+            self.types.setdefault(name, resolved.qualname)
+
+    def class_of(self, name: str) -> ClassInfo | None:
+        qualname = self.types.get(name)
+        if qualname is None:
+            return None
+        return self.model.class_by_qualname(qualname)
+
+
+def _method_lookup(
+    model: ProjectModel, cls: ClassInfo | None, name: str
+) -> FunctionInfo | None:
+    """A method by name on ``cls`` or (project-resolvable) base classes."""
+    seen = 0
+    while cls is not None and seen < 8:
+        if name in cls.methods:
+            return cls.methods[name]
+        nxt: ClassInfo | None = None
+        owner = model.modules.get(cls.module)
+        if owner is not None:
+            for base in cls.bases:
+                resolved = model.resolve(owner, base)
+                if resolved is not None and resolved.kind == "class":
+                    nxt = model.class_by_qualname(resolved.qualname)
+                    if nxt is not None and name in nxt.methods:
+                        return nxt.methods[name]
+        cls = nxt
+        seen += 1
+    return None
+
+
+class _EdgeCollector(ast.NodeVisitor):
+    """Collects call/reference edges for one function (or module) body."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        module: ModuleInfo,
+        src: str,
+        func: FunctionInfo | None,
+    ) -> None:
+        self.graph = graph
+        self.model = graph.model
+        self.module = module
+        self.src = src
+        self.func = func
+        self.locals = LocalTypes(self.model, module, func)
+        # Nested function defs callable from this scope, by bare name.
+        self.nested: dict[str, str] = {}
+        if func is not None:
+            for info in module.functions.values():
+                if info.parent == func.qualname:
+                    self.nested[info.name] = info.qualname
+
+    # -- resolution helpers -------------------------------------------------
+
+    def _link(self, qualname: str) -> None:
+        self.graph.add_edge(self.src, qualname)
+
+    def _link_symbol(self, kind: str, qualname: str) -> None:
+        if kind == "function":
+            self._link(qualname)
+        elif kind == "class":
+            cls = self.model.class_by_qualname(qualname)
+            if cls is not None and "__init__" in cls.methods:
+                self._link(cls.methods["__init__"].qualname)
+
+    def _resolve_expr(self, node: ast.expr) -> None:
+        """Add an edge for a function-valued expression, if resolvable."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return
+        head, _, rest = dotted.partition(".")
+        if not rest and head in self.nested:
+            self._link(self.nested[head])
+            return
+        resolved = self.model.resolve(self.module, dotted)
+        if resolved is not None:
+            self._link_symbol(resolved.kind, resolved.qualname)
+
+    def _resolve_method_call(self, node: ast.Call) -> bool:
+        """Attribute calls: typed receivers first, unique-name fallback."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        target: FunctionInfo | None = None
+        base = func.value
+        if isinstance(base, ast.Name):
+            cls = self.locals.class_of(base.id)
+            if cls is not None:
+                target = _method_lookup(self.model, cls, func.attr)
+        elif (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+        ):
+            # self.attr.method() via __init__-harvested attribute types.
+            cls = self.locals.class_of(base.value.id)
+            if cls is not None:
+                attr_type = cls.attr_types.get(base.attr)
+                if attr_type is not None:
+                    resolved = self.model.resolve(
+                        self.model.modules[cls.module], attr_type
+                    )
+                    if resolved is not None and resolved.kind == "class":
+                        target = _method_lookup(
+                            self.model,
+                            self.model.class_by_qualname(resolved.qualname),
+                            func.attr,
+                        )
+        if target is not None:
+            self._link(target.qualname)
+            return True
+        # Unique-name fallback — but never for attributes of imported
+        # modules/objects (``np.mean`` is numpy's, not a project method).
+        if isinstance(base, ast.Name) and base.id in self.module.aliases:
+            return False
+        candidates = self.graph.method_index.get(func.attr, [])
+        if len(candidates) == 1:
+            self._link(candidates[0])
+            return True
+        return False
+
+    # -- visitors -----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        linked = False
+        if dotted is not None:
+            head, _, rest = dotted.partition(".")
+            if not rest and head in self.nested:
+                self._link(self.nested[head])
+                linked = True
+            else:
+                resolved = self.model.resolve(self.module, dotted)
+                if resolved is not None and resolved.kind in ("function", "class"):
+                    self._link_symbol(resolved.kind, resolved.qualname)
+                    linked = True
+        if not linked:
+            self._resolve_method_call(node)
+        # Function-valued arguments are callbacks: whoever receives them
+        # may call them (pool.imap_unordered(fn, ...), partial(fn, ...),
+        # Experiment(run_one=fn), env.process(driver(env))).
+        for arg in node.args:
+            self._resolve_expr(arg)
+        for kw in node.keywords:
+            if kw.value is not None:
+                self._resolve_expr(kw.value)
+        # Recurse into the whole call (nested calls in func/args/keywords);
+        # re-adding an edge is a no-op, so double-visiting stays harmless.
+        self.generic_visit(node)
+
+    def _skip_nested(self, node: ast.AST) -> None:
+        # Nested defs get their own collector; only the def *name* is a
+        # local symbol here (calls to it are linked by visit_Call).
+        del node
+
+    visit_FunctionDef = _skip_nested
+    visit_AsyncFunctionDef = _skip_nested
+    visit_ClassDef = _skip_nested
+
+    def run(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit(stmt)
+
+
+def build_call_graph(model: ProjectModel) -> CallGraph:
+    """Collect edges for every function and module body in the model."""
+    graph = CallGraph(model=model)
+    index: dict[str, set[str]] = {}
+    for module in model.sorted_modules():
+        for cls_name in sorted(module.classes):
+            cls = module.classes[cls_name]
+            for meth_name, meth in sorted(cls.methods.items()):
+                index.setdefault(meth_name, set()).add(meth.qualname)
+    graph.method_index = {
+        name: sorted(quals) for name, quals in sorted(index.items())
+    }
+    for module in model.sorted_modules():
+        collector = _EdgeCollector(graph, module, module.scope_node, None)
+        collector.run(module.tree.body)
+        for key in sorted(module.functions):
+            func = module.functions[key]
+            collector = _EdgeCollector(graph, module, func.qualname, func)
+            collector.run(func.node.body)
+    return graph

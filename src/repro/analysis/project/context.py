@@ -1,0 +1,94 @@
+"""Shared state the project rule families run against."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..findings import Finding
+from .callgraph import CallGraph
+from .entrypoints import EntryPoint
+from .model import FunctionInfo, ModuleInfo, ProjectModel
+
+__all__ = ["ProjectContext", "format_chain"]
+
+
+def format_chain(chain: tuple[str, ...]) -> str:
+    """Render a reachability chain for a finding message."""
+    if len(chain) <= 1:
+        return chain[0] if chain else "<entry>"
+    return " -> ".join(chain)
+
+
+@dataclass
+class ProjectContext:
+    """Model + call graph + reachability, shared by R5xx/G6xx/P7xx."""
+
+    model: ProjectModel
+    graph: CallGraph
+    entry_points: list[EntryPoint]
+    # qualname -> shortest chain from an entry of the given closure
+    worker_chains: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    cache_chains: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    import_chains: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+    # Import-time-only mutators the shared-state rules certified as safe.
+    certified: list[dict] = field(default_factory=list)
+    _seen: set[tuple[str, int, int, str]] = field(default_factory=set)
+
+    def worker_reachable(self, qualname: str) -> bool:
+        return qualname in self.worker_chains
+
+    def cache_reachable(self, qualname: str) -> bool:
+        return qualname in self.cache_chains
+
+    def import_reachable(self, qualname: str) -> bool:
+        return qualname in self.import_chains
+
+    def add(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        rule_id: str,
+        message: str,
+        severity: str = "error",
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        key = (module.relpath, line, col, rule_id)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        ids = module.noqa.get(line, ())
+        suppressed = ids is None or (
+            ids != () and rule_id.upper() in ids
+        )
+        self.findings.append(
+            Finding(
+                path=module.relpath,
+                line=line,
+                col=col,
+                rule=rule_id,
+                message=message,
+                suppressed=suppressed,
+                severity=severity,
+            )
+        )
+
+    def worker_functions(self) -> list[tuple[ModuleInfo, FunctionInfo]]:
+        """Worker-reachable project functions, in deterministic order."""
+        return self._functions_in(self.worker_chains)
+
+    def cache_functions(self) -> list[tuple[ModuleInfo, FunctionInfo]]:
+        """run_one/shard-reachable project functions (cache boundary)."""
+        return self._functions_in(self.cache_chains)
+
+    def _functions_in(
+        self, chains: dict[str, tuple[str, ...]]
+    ) -> list[tuple[ModuleInfo, FunctionInfo]]:
+        out: list[tuple[ModuleInfo, FunctionInfo]] = []
+        for qualname in sorted(chains):
+            func = self.model.function_by_qualname(qualname)
+            if func is not None:
+                out.append((self.model.modules[func.module], func))
+        return out

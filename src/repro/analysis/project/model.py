@@ -1,0 +1,518 @@
+"""The project model: every module of a package parsed and indexed once.
+
+:func:`build_project` walks a package root, parses each ``.py`` file, and
+builds per-module symbol tables (functions, classes with methods, module
+globals classified by mutability/kind), an import-alias map that resolves
+*relative* imports against the module's package, and the module-level
+import graph.  The model is purely syntactic — nothing is imported or
+executed — and its construction is deterministic: modules are keyed and
+iterated in sorted dotted-name order regardless of file discovery order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..paths import repo_relative
+from ..visitor import _collect_noqa, dotted_name
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "GlobalInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "ResolvedSymbol",
+    "build_project",
+    "module_aliases",
+]
+
+# Calls at module scope producing these are containers: worker-side
+# mutation of one is a cross-process divergence hazard (G6xx).
+_CONTAINER_FACTORIES = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "collections.defaultdict",
+        "collections.OrderedDict",
+        "collections.deque",
+        "collections.Counter",
+    }
+)
+
+# RNG constructors; a module global bound to one is flagged by R503.
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "random.Random",
+        "random.SystemRandom",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str  # e.g. repro.runner.executor._execute_one
+    module: str  # dotted module name
+    name: str  # bare name
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(repr=False)
+    params: tuple[str, ...]
+    class_name: str | None = None  # bare enclosing class name, if a method
+    parent: str | None = None  # qualname of the enclosing function, if nested
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition: its methods, bases, and instance-attr types."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef = field(repr=False)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: tuple[str, ...] = ()  # source-level dotted base names
+    # instance attribute -> source-level dotted class name, harvested from
+    # ``self.attr = ClassName(...)`` assignments in methods (one level).
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GlobalInfo:
+    """One module-level binding, classified for the shared-state rules."""
+
+    qualname: str  # module.NAME
+    module: str
+    name: str
+    kind: str  # "container" | "rng" | "constant" | "other"
+    lineno: int
+    col: int
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the project rules need to know about one module."""
+
+    name: str  # dotted module name
+    path: Path
+    relpath: str  # repo-relative POSIX path used in reports
+    tree: ast.Module = field(repr=False)
+    is_package: bool = False
+    aliases: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    globals: dict[str, GlobalInfo] = field(default_factory=dict)
+    imports: tuple[str, ...] = ()  # dotted modules imported at module scope
+    # ``# repro: noqa`` suppressions, 1-based line -> rule ids (None = all).
+    noqa: dict[int, "frozenset[str] | None"] = field(default_factory=dict)
+
+    @property
+    def scope_node(self) -> str:
+        """Call-graph node name standing for this module's import-time body."""
+        return f"{self.name}.<module>"
+
+    def resolve_call_name(self, expr: ast.expr) -> str | None:
+        """Import-aware dotted name of an expression (like FileContext)."""
+        raw = dotted_name(expr)
+        if raw is None:
+            return None
+        head, _, rest = raw.partition(".")
+        resolved_head = self.aliases.get(head, head)
+        return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+@dataclass(frozen=True)
+class ResolvedSymbol:
+    """The project-local resolution of a dotted source name."""
+
+    kind: str  # "function" | "class" | "global" | "module"
+    qualname: str
+    module: str  # defining module
+
+
+def module_aliases(
+    tree: ast.Module, module_name: str, is_package: bool
+) -> dict[str, str]:
+    """Local name -> dotted target, resolving relative imports.
+
+    ``from .cache import ResultCache`` inside ``repro.runner.executor``
+    maps ``ResultCache -> repro.runner.cache.ResultCache``; absolute
+    imports behave like the per-file map.  Imports anywhere in the module
+    count (several modules import lazily inside functions).
+    """
+    package = module_name if is_package else module_name.rpartition(".")[0]
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = package.split(".") if package else []
+                climb = node.level - 1
+                if climb > len(parts):
+                    continue  # relative import escaping the scanned root
+                anchor = parts[: len(parts) - climb] if climb else parts
+                base = ".".join([*anchor, node.module] if node.module else anchor)
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                target = f"{base}.{item.name}" if base else item.name
+                aliases[item.asname or item.name] = target
+    return aliases
+
+
+def _scope_imports(
+    body: Iterable[ast.stmt], module_name: str, is_package: bool
+) -> list[str]:
+    """Dotted modules imported by the given statements (module scope)."""
+    package = module_name if is_package else module_name.rpartition(".")[0]
+    out: list[str] = []
+    for node in _scope_stmts(body):
+        if isinstance(node, ast.Import):
+            out.extend(item.name for item in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = package.split(".") if package else []
+                climb = node.level - 1
+                if climb > len(parts):
+                    continue
+                anchor = parts[: len(parts) - climb] if climb else parts
+                base = ".".join([*anchor, node.module] if node.module else anchor)
+            if base:
+                out.append(base)
+                # ``from pkg import sub`` may name submodules; record both
+                # candidates — resolution just ignores the ones that don't
+                # exist in the project.
+                out.extend(f"{base}.{item.name}" for item in node.names)
+    return out
+
+
+def _classify_global(value: ast.expr | None, aliases: dict[str, str]) -> str:
+    """Container / rng / constant / other, from the assigned expression."""
+    if value is None:
+        return "other"
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return "container"
+    if isinstance(value, ast.Constant) or (
+        isinstance(value, (ast.Tuple, ast.UnaryOp, ast.BinOp))
+    ):
+        return "constant"
+    if isinstance(value, ast.Call):
+        raw = dotted_name(value.func)
+        if raw is not None:
+            head, _, rest = raw.partition(".")
+            resolved = aliases.get(head, head) + (f".{rest}" if rest else "")
+            if resolved in _CONTAINER_FACTORIES:
+                return "container"
+            if resolved in RNG_CONSTRUCTORS:
+                return "rng"
+            if resolved == "frozenset" or raw == "frozenset":
+                return "constant"
+    return "other"
+
+
+def _function_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    a = node.args
+    names = [arg.arg for arg in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+    if a.vararg:
+        names.append(a.vararg.arg)
+    if a.kwarg:
+        names.append(a.kwarg.arg)
+    return tuple(names)
+
+
+def _scope_stmts(body: Iterable[ast.stmt]) -> Iterable[ast.stmt]:
+    """Statements of one scope, descending through compound statements
+    (``if``/``for``/``try``/``with``) but not into nested def/class bodies
+    — a ``def`` inside a ``try:`` is still a local of the enclosing scope.
+    """
+    for node in body:
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                yield from _scope_stmts([child])
+            elif isinstance(child, ast.excepthandler):
+                yield from _scope_stmts(child.body)
+
+
+def _harvest_functions(
+    module: ModuleInfo,
+    body: Iterable[ast.stmt],
+    prefix: str,
+    class_name: str | None,
+    parent: str | None,
+) -> None:
+    """Register functions/classes under ``prefix`` (recursing into both)."""
+    for node in _scope_stmts(body):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}.{node.name}"
+            info = FunctionInfo(
+                qualname=qualname,
+                module=module.name,
+                name=node.name,
+                node=node,
+                params=_function_params(node),
+                class_name=class_name,
+                parent=parent,
+            )
+            module.functions[_local_key(qualname, module.name)] = info
+            # Nested defs resolve through the parent's local scope.
+            _harvest_functions(
+                module, node.body, f"{qualname}.<locals>", None, qualname
+            )
+        elif isinstance(node, ast.ClassDef):
+            class_qual = f"{prefix}.{node.name}"
+            bases = tuple(
+                b for b in (dotted_name(base) for base in node.bases)
+                if b is not None
+            )
+            cls = ClassInfo(
+                qualname=class_qual,
+                module=module.name,
+                name=node.name,
+                node=node,
+                bases=bases,
+            )
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    meth_qual = f"{class_qual}.{item.name}"
+                    info = FunctionInfo(
+                        qualname=meth_qual,
+                        module=module.name,
+                        name=item.name,
+                        node=item,
+                        params=_function_params(item),
+                        class_name=node.name,
+                        parent=None,
+                    )
+                    cls.methods[item.name] = info
+                    module.functions[_local_key(meth_qual, module.name)] = info
+                    _harvest_functions(
+                        module, item.body, f"{meth_qual}.<locals>",
+                        None, meth_qual,
+                    )
+            _harvest_attr_types(cls)
+            if class_name is None and parent is None:
+                module.classes[node.name] = cls
+
+
+def _harvest_attr_types(cls: ClassInfo) -> None:
+    """``self.attr = ClassName(...)`` assignments -> instance attr types."""
+    for meth in cls.methods.values():
+        for node in ast.walk(meth.node):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            ctor = dotted_name(node.value.func)
+            if ctor is None:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    cls.attr_types.setdefault(target.attr, ctor)
+
+
+def _local_key(qualname: str, module_name: str) -> str:
+    """Module-local lookup key: the qualname minus the module prefix."""
+    return qualname[len(module_name) + 1 :]
+
+
+def _harvest_globals(module: ModuleInfo) -> None:
+    for node in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        else:
+            continue
+        kind = _classify_global(value, module.aliases)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                module.globals[target.id] = GlobalInfo(
+                    qualname=f"{module.name}.{target.id}",
+                    module=module.name,
+                    name=target.id,
+                    kind=kind,
+                    lineno=node.lineno,
+                    col=node.col_offset + 1,
+                )
+
+
+@dataclass
+class ProjectModel:
+    """All modules of one scanned package tree, plus resolution helpers."""
+
+    root: Path
+    root_package: str
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    # Modules that failed to parse: relpath -> error text (reported as E000
+    # by the caller; kept here so the report stays deterministic).
+    errors: dict[str, str] = field(default_factory=dict)
+
+    # -- resolution ---------------------------------------------------------
+
+    def module_for(self, dotted: str) -> tuple[ModuleInfo | None, str]:
+        """Longest project-module prefix of ``dotted`` and the remainder."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            name = ".".join(parts[:cut])
+            if name in self.modules:
+                return self.modules[name], ".".join(parts[cut:])
+        return None, dotted
+
+    def resolve(
+        self, module: ModuleInfo, dotted: str, _depth: int = 0
+    ) -> ResolvedSymbol | None:
+        """Resolve a source-level dotted name to a project symbol.
+
+        Follows the module's import aliases, then chases re-exports
+        (``from .registry import register`` in a package ``__init__``)
+        up to a small depth so names imported via package facades resolve
+        to their defining module.
+        """
+        if _depth > 8 or not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = module.aliases.get(head)
+        if target is None:
+            # A name defined in this module itself.
+            resolved = self._lookup_in(module, dotted)
+            if resolved is not None:
+                return resolved
+            if head in self.modules and rest:
+                owner = self.modules[head]
+                return self._lookup_in(owner, rest) or ResolvedSymbol(
+                    "module", owner.name, owner.name
+                )
+            return None
+        full = f"{target}.{rest}" if rest else target
+        owner, remainder = self.module_for(full)
+        if owner is None:
+            return None
+        if not remainder:
+            return ResolvedSymbol("module", owner.name, owner.name)
+        hit = self._lookup_in(owner, remainder)
+        if hit is not None:
+            return hit
+        # Re-export chase: the owner may alias the first remainder segment.
+        if remainder.partition(".")[0] in owner.aliases:
+            return self.resolve(owner, remainder, _depth=_depth + 1)
+        return None
+
+    def _lookup_in(self, module: ModuleInfo, local: str) -> ResolvedSymbol | None:
+        """Look a module-local dotted path up in one module's tables."""
+        if local in module.functions:
+            return ResolvedSymbol(
+                "function", module.functions[local].qualname, module.name
+            )
+        seg, _, tail = local.partition(".")
+        if seg in module.classes:
+            cls = module.classes[seg]
+            if not tail:
+                return ResolvedSymbol("class", cls.qualname, module.name)
+            if tail in cls.methods:
+                return ResolvedSymbol(
+                    "function", cls.methods[tail].qualname, module.name
+                )
+            return None
+        if seg in module.globals and not tail:
+            return ResolvedSymbol(
+                "global", module.globals[seg].qualname, module.name
+            )
+        return None
+
+    def function_by_qualname(self, qualname: str) -> FunctionInfo | None:
+        owner, remainder = self.module_for(qualname)
+        if owner is None or not remainder:
+            return None
+        return owner.functions.get(remainder)
+
+    def class_by_qualname(self, qualname: str) -> ClassInfo | None:
+        owner, remainder = self.module_for(qualname)
+        if owner is None:
+            return None
+        return owner.classes.get(remainder)
+
+    def global_by_qualname(self, qualname: str) -> GlobalInfo | None:
+        owner, remainder = self.module_for(qualname)
+        if owner is None:
+            return None
+        return owner.globals.get(remainder)
+
+    def sorted_modules(self) -> list[ModuleInfo]:
+        return [self.modules[name] for name in sorted(self.modules)]
+
+
+def _module_name(py_file: Path, root: Path, root_package: str) -> tuple[str, bool]:
+    """Dotted module name for a file under ``root``; flags packages."""
+    rel = py_file.relative_to(root)
+    parts = list(rel.parts)
+    is_package = parts[-1] == "__init__.py"
+    if is_package:
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join([root_package, *parts]) if parts else root_package, is_package
+
+
+def build_project(root: Path | str) -> ProjectModel:
+    """Parse every ``.py`` under a package root into a :class:`ProjectModel`.
+
+    ``root`` must be a package directory (contain ``__init__.py``); its
+    directory name becomes the root package name.  Construction order is
+    the sorted file list, so two builds over the same tree are identical
+    regardless of how the caller discovered the files.
+    """
+    root = Path(root).resolve()
+    root_package = root.name
+    model = ProjectModel(root=root, root_package=root_package)
+    files = sorted(
+        p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+    )
+    for py_file in files:
+        name, is_package = _module_name(py_file, root, root_package)
+        relpath = repo_relative(py_file)
+        try:
+            source = py_file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(py_file))
+        except (SyntaxError, OSError, UnicodeDecodeError) as err:
+            model.errors[relpath] = str(err)
+            continue
+        module = ModuleInfo(
+            name=name,
+            path=py_file,
+            relpath=relpath,
+            tree=tree,
+            is_package=is_package,
+            aliases=module_aliases(tree, name, is_package),
+            noqa=_collect_noqa(source.splitlines()),
+        )
+        module.imports = tuple(_scope_imports(tree.body, name, is_package))
+        _harvest_functions(module, tree.body, name, None, None)
+        _harvest_globals(module)
+        model.modules[name] = module
+    return model

@@ -1,0 +1,162 @@
+"""Run the whole-program analysis and assemble a deterministic report.
+
+:func:`analyze_project` builds the model, the call graph, and the three
+reachability closures, runs the R5xx/G6xx/P7xx rule families, and returns
+a :class:`ProjectReport` whose JSON form is **byte-identical** across
+repeated runs and across file discovery orders: every collection is sorted
+and nothing reads a clock, the environment, or unsorted hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..findings import Finding
+from .callgraph import build_call_graph
+from .context import ProjectContext
+from .entrypoints import find_entry_points
+from .model import build_project
+from .rules_purity import run_purity_rules
+from .rules_rng import run_rng_rules
+from .rules_state import run_state_rules
+
+__all__ = ["PROJECT_RULE_CATALOG", "ProjectReport", "analyze_project"]
+
+
+@dataclass(frozen=True)
+class ProjectRuleMeta:
+    """Identity metadata for one project-tier rule (no per-file visitor)."""
+
+    rule_id: str
+    family: str
+    severity: str
+    summary: str
+
+
+PROJECT_RULE_CATALOG: tuple[ProjectRuleMeta, ...] = (
+    ProjectRuleMeta(
+        "R501", "rng-provenance", "error",
+        "RNG constructors must derive from a spec/seed parameter, never "
+        "from ambient state (clocks, entropy, mutable module globals)",
+    ),
+    ProjectRuleMeta(
+        "R502", "rng-provenance", "error",
+        "no process-global RNG sampling (np.random.* / random.*) in "
+        "worker-reachable code",
+    ),
+    ProjectRuleMeta(
+        "R503", "rng-provenance", "error",
+        "RNG objects must not escape into module-level globals",
+    ),
+    ProjectRuleMeta(
+        "G601", "shared-state", "error",
+        "no worker-reachable mutation of module-level mutable containers "
+        "(import-time registration is certified safe)",
+    ),
+    ProjectRuleMeta(
+        "G602", "shared-state", "error",
+        "no worker-reachable `global` rebinding of module-level names",
+    ),
+    ProjectRuleMeta(
+        "P701", "cache-purity", "error",
+        "no environment reads (os.environ / os.getenv) inside cached "
+        "run_one call trees",
+    ),
+    ProjectRuleMeta(
+        "P702", "cache-purity", "error",
+        "no clock reads inside cached run_one call trees",
+    ),
+    ProjectRuleMeta(
+        "P703", "cache-purity", "error",
+        "no process/host identity reads (getpid, cwd, hostname, tempdir) "
+        "inside cached run_one call trees",
+    ),
+)
+
+
+@dataclass
+class ProjectReport:
+    """Everything one whole-program analysis produced."""
+
+    root: str  # repo-relative POSIX root that was scanned
+    modules: int
+    findings: list[Finding] = field(default_factory=list)
+    entry_points: list[dict[str, str]] = field(default_factory=list)
+    certified: list[dict[str, str]] = field(default_factory=list)
+    parse_errors: list[dict[str, str]] = field(default_factory=list)
+
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Canonical JSON shape — stable key and element order."""
+        return {
+            "version": 1,
+            "root": self.root,
+            "modules": self.modules,
+            "entry_points": self.entry_points,
+            "certified": self.certified,
+            "parse_errors": self.parse_errors,
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "rule": f.rule,
+                    "severity": f.severity,
+                    "suppressed": f.suppressed,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+        }
+
+
+def analyze_project(root: Path | str) -> ProjectReport:
+    """Whole-program analysis of one package root (see module docstring)."""
+    from ..paths import repo_relative
+
+    model = build_project(root)
+    graph = build_call_graph(model)
+    entries = find_entry_points(model)
+
+    worker_roots = sorted({e.qualname for e in entries})
+    cache_roots = sorted(
+        {e.qualname for e in entries if e.kind in ("run_one", "shard")}
+    )
+    import_roots = sorted(
+        module.scope_node for module in model.sorted_modules()
+    )
+
+    ctx = ProjectContext(
+        model=model,
+        graph=graph,
+        entry_points=entries,
+        worker_chains=graph.reachable(worker_roots),
+        cache_chains=graph.reachable(cache_roots),
+        import_chains=graph.reachable(import_roots),
+    )
+    run_rng_rules(ctx)
+    run_state_rules(ctx)
+    run_purity_rules(ctx)
+
+    certified = sorted(
+        {tuple(sorted(item.items())) for item in ctx.certified}
+    )
+    report = ProjectReport(
+        root=repo_relative(root),
+        modules=len(model.modules),
+        findings=sorted(ctx.findings),
+        entry_points=[
+            {"qualname": e.qualname, "kind": e.kind, "via": e.via}
+            for e in entries
+        ],
+        certified=[dict(item) for item in certified],
+        parse_errors=[
+            {"path": path, "error": err}
+            for path, err in sorted(model.errors.items())
+        ],
+    )
+    return report

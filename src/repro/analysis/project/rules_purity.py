@@ -1,0 +1,133 @@
+"""P7xx — cache-purity rules for the spec-keyed result cache.
+
+An experiment's ``run_one`` result is cached on disk keyed by the sha256
+of its spec (``repro.runner.cache``): the contract is that the result is a
+*pure function of the spec*.  Any ambient read inside the ``run_one`` /
+shard-engine call tree poisons that cache — the stored result encodes
+state (environment, clock, process id, working directory) that the key
+does not, so a cache hit can silently disagree with a fresh run.
+
+- **P701** — environment reads (``os.environ`` / ``os.getenv``);
+- **P702** — clock reads (``time.time`` / ``time.perf_counter`` /
+  ``datetime.now`` …): even "harmless" elapsed-time measurement is
+  flagged inside the cached tree, because a measured value that reaches
+  the result dict is unreproducible by construction (measure in the
+  executor, outside ``run_one``, as ``RunReport.elapsed_s`` does);
+- **P703** — process / host identity reads (``os.getpid``, ``os.getcwd``,
+  ``Path.cwd``, ``platform.*``, ``socket.gethostname``, ``tempfile.*``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..visitor import dotted_name
+from .context import ProjectContext, format_chain
+from .model import ModuleInfo
+
+__all__ = ["run_purity_rules"]
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_IDENTITY_CALLS = frozenset(
+    {
+        "os.getpid",
+        "os.getppid",
+        "os.getcwd",
+        "os.getlogin",
+        "os.uname",
+        "pathlib.Path.cwd",
+        "platform.node",
+        "platform.platform",
+        "platform.uname",
+        "socket.gethostname",
+        "socket.getfqdn",
+        "tempfile.gettempdir",
+        "tempfile.mkdtemp",
+        "tempfile.mkstemp",
+        "getpass.getuser",
+    }
+)
+
+
+def _resolved(module: ModuleInfo, expr: ast.expr) -> str | None:
+    return module.resolve_call_name(expr)
+
+
+def run_purity_rules(ctx: ProjectContext) -> None:
+    """Emit P701/P702/P703 findings for the cached call tree into ``ctx``."""
+    for module, func in ctx.cache_functions():
+        chain = ctx.cache_chains[func.qualname]
+        via = format_chain(chain)
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                resolved = _resolved(module, node.func)
+                if resolved is None:
+                    continue
+                if resolved == "os.getenv" or resolved.startswith(
+                    "os.environ"
+                ):
+                    ctx.add(
+                        module,
+                        node,
+                        "P701",
+                        f"environment read `{resolved}` inside the cached "
+                        f"run_one call tree ({via}); the spec key does not "
+                        "cover the environment, so cached results go stale "
+                        "silently — put the value in the spec instead",
+                    )
+                elif resolved in _CLOCK_CALLS:
+                    ctx.add(
+                        module,
+                        node,
+                        "P702",
+                        f"clock read `{resolved}` inside the cached run_one "
+                        f"call tree ({via}); results must be a pure "
+                        "function of the spec — measure timing in the "
+                        "executor (RunReport.elapsed_s), not in the unit",
+                    )
+                elif resolved in _IDENTITY_CALLS:
+                    ctx.add(
+                        module,
+                        node,
+                        "P703",
+                        f"process/host identity read `{resolved}` inside "
+                        f"the cached run_one call tree ({via}); identity "
+                        "varies per worker and is invisible to the spec "
+                        "key — derive names/paths from the spec instead",
+                    )
+            elif isinstance(node, (ast.Attribute, ast.Subscript)):
+                base = node.value if isinstance(node, ast.Subscript) else node
+                dotted = dotted_name(base)
+                if dotted is None:
+                    continue
+                head, _, rest = dotted.partition(".")
+                resolved_head = module.aliases.get(head, head)
+                full = f"{resolved_head}.{rest}" if rest else resolved_head
+                if full == "os.environ" and isinstance(
+                    node, ast.Subscript
+                ):
+                    ctx.add(
+                        module,
+                        node,
+                        "P701",
+                        f"environment read `os.environ[...]` inside the "
+                        f"cached run_one call tree ({via}); the spec key "
+                        "does not cover the environment — put the value "
+                        "in the spec instead",
+                    )

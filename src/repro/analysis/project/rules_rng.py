@@ -1,0 +1,243 @@
+"""R5xx — RNG provenance rules.
+
+Every random stream in the repo must descend from an explicit seed carried
+by a spec, parameter, or venue/config attribute.  These rules catch the
+three ways that contract breaks across module boundaries:
+
+- **R501** — an RNG constructor seeded from *ambient* state: an entropy /
+  clock / process read in the seed expression, a mutable module global, or
+  a bare ``SeedSequence()`` (which draws OS entropy);
+- **R502** — legacy global-stream sampling (``np.random.rand`` /
+  ``random.random``) in *worker-reachable* code, where each process owns
+  an independent copy of the hidden stream and serial-vs-sharded replay
+  silently diverges;
+- **R503** — an RNG object escaping into a module-level global (bound at
+  module scope or written through ``global``), i.e. one hidden stream
+  shared by every caller in the process but duplicated across workers.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .context import ProjectContext, format_chain
+from .model import RNG_CONSTRUCTORS, FunctionInfo, ModuleInfo
+
+__all__ = ["run_rng_rules"]
+
+# Seed expressions must not read these: different value per run/process.
+_AMBIENT_CALL_PREFIXES = (
+    "time.",
+    "os.",
+    "datetime.",
+    "secrets.",
+    "uuid.",
+    "socket.",
+    "platform.",
+    "random.",  # seeding one stream from another hidden global stream
+)
+
+# numpy.random attributes that are *not* global-stream sampling.
+_NP_RANDOM_OK = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "numpy.random.BitGenerator",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+    }
+)
+
+# Constructors whose zero-argument form is already flagged per-file (D102);
+# the project tier only adds the ambient-derivation analysis for them.
+_EMPTY_OK = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState", "random.Random"}
+)
+
+
+def _seed_exprs(node: ast.Call) -> list[ast.expr]:
+    return [*node.args, *[kw.value for kw in node.keywords]]
+
+
+def _ambient_source(
+    ctx: ProjectContext, module: ModuleInfo, expr: ast.expr
+) -> tuple[ast.AST, str] | None:
+    """The first ambient ingredient of a seed expression, if any."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Call):
+            resolved = module.resolve_call_name(sub.func)
+            if resolved is None:
+                continue
+            if resolved in RNG_CONSTRUCTORS:
+                continue  # nested SeedSequence([...]) etc. — checked itself
+            if resolved.startswith(_AMBIENT_CALL_PREFIXES) or resolved in (
+                "id",
+                "hash",
+                "input",
+            ):
+                return sub, f"call to `{resolved}`"
+        elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            if sub.id in module.aliases:
+                continue  # imported module/function name, not data
+            symbol = ctx.model.resolve(module, sub.id)
+            if symbol is not None and symbol.kind == "global":
+                info = ctx.model.global_by_qualname(symbol.qualname)
+                if info is not None and info.kind in ("container", "rng", "other"):
+                    return sub, (
+                        f"module global `{info.qualname}` "
+                        f"(kind: {info.kind})"
+                    )
+    return None
+
+
+def _check_constructor_call(
+    ctx: ProjectContext, module: ModuleInfo, node: ast.Call
+) -> None:
+    resolved = module.resolve_call_name(node.func)
+    if resolved not in RNG_CONSTRUCTORS:
+        return
+    exprs = _seed_exprs(node)
+    if not exprs:
+        if resolved == "numpy.random.SeedSequence":
+            ctx.add(
+                module,
+                node,
+                "R501",
+                "`numpy.random.SeedSequence()` without entropy draws from "
+                "the OS; derive it from the spec/venue seed instead",
+            )
+        # Zero-arg default_rng()/Random() is the per-file D102 finding.
+        return
+    for expr in exprs:
+        hit = _ambient_source(ctx, module, expr)
+        if hit is not None:
+            where, what = hit
+            ctx.add(
+                module,
+                where,
+                "R501",
+                f"`{resolved}` is seeded from ambient state ({what}); "
+                "RNG streams must derive from an explicit spec/seed "
+                "parameter so every worker reproduces them",
+            )
+            return
+
+
+def _function_bodies(
+    module: ModuleInfo,
+) -> list[tuple[FunctionInfo | None, list[ast.stmt]]]:
+    """Module scope plus every function body, each walked exactly once."""
+    bodies: list[tuple[FunctionInfo | None, list[ast.stmt]]] = [
+        (None, module.tree.body)
+    ]
+    for key in sorted(module.functions):
+        bodies.append((module.functions[key], module.functions[key].node.body))
+    return bodies
+
+
+def _walk_own(body: list[ast.stmt]):
+    """Walk statements without descending into nested def/class bodies."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop(0)
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
+
+
+def run_rng_rules(ctx: ProjectContext) -> None:
+    """Emit R501/R502/R503 findings into ``ctx`` (see module docstring)."""
+    for module in ctx.model.sorted_modules():
+        for func, body in _function_bodies(module):
+            qualname = module.scope_node if func is None else func.qualname
+            worker_chain = ctx.worker_chains.get(qualname)
+            for node in _walk_own(body):
+                if isinstance(node, ast.Call):
+                    _check_constructor_call(ctx, module, node)
+                    if worker_chain is not None:
+                        _check_global_stream(ctx, module, node, worker_chain)
+                elif isinstance(node, ast.Global) and func is not None:
+                    _check_rng_escape_global(ctx, module, func, node)
+        _check_module_scope_rng(ctx, module)
+
+
+def _check_global_stream(
+    ctx: ProjectContext,
+    module: ModuleInfo,
+    node: ast.Call,
+    chain: tuple[str, ...],
+) -> None:
+    resolved = module.resolve_call_name(node.func)
+    if resolved is None:
+        return
+    legacy = (
+        resolved.startswith("numpy.random.") and resolved not in _NP_RANDOM_OK
+    ) or (
+        resolved.startswith("random.")
+        and resolved not in ("random.Random",)
+    )
+    if legacy:
+        ctx.add(
+            module,
+            node,
+            "R502",
+            f"`{resolved}` samples the process-global stream inside "
+            f"worker-reachable code ({format_chain(chain)}); each worker "
+            "owns an independent hidden stream, so sharded replay "
+            "diverges — thread a seeded Generator instead",
+        )
+
+
+def _check_rng_escape_global(
+    ctx: ProjectContext,
+    module: ModuleInfo,
+    func: FunctionInfo,
+    node: ast.Global,
+) -> None:
+    """``global X`` + ``X = default_rng(...)`` inside the same function."""
+    declared = set(node.names)
+    for stmt in _walk_own(func.node.body):
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not isinstance(stmt.value, ast.Call):
+            continue
+        resolved = module.resolve_call_name(stmt.value.func)
+        if resolved not in RNG_CONSTRUCTORS:
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id in declared:
+                ctx.add(
+                    module,
+                    stmt,
+                    "R503",
+                    f"`{func.qualname}` rebinds module global "
+                    f"`{module.name}.{target.id}` to an RNG; a "
+                    "module-held stream is shared by every caller in the "
+                    "process but duplicated across workers — return the "
+                    "generator or thread it explicitly",
+                )
+
+
+def _check_module_scope_rng(ctx: ProjectContext, module: ModuleInfo) -> None:
+    for name in sorted(module.globals):
+        info = module.globals[name]
+        if info.kind != "rng":
+            continue
+        node = ast.Name(id=name)
+        node.lineno, node.col_offset = info.lineno, info.col - 1
+        ctx.add(
+            module,
+            node,
+            "R503",
+            f"module-level RNG `{info.qualname}`: one hidden stream "
+            "shared by every caller and silently re-created per worker "
+            "process; construct generators from the spec/seed at the "
+            "call site instead",
+        )

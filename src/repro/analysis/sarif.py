@@ -1,0 +1,161 @@
+"""Machine-readable lint output: canonical JSON and SARIF 2.1.0.
+
+Both serializers are deterministic — findings arrive sorted, rule
+metadata is sorted by id, and paths are normalized to repo-relative POSIX
+— so the rendered documents are **byte-identical** across runs and across
+file discovery orders.  The SARIF form is what CI uploads as an artifact
+(and what code-scanning UIs ingest); the JSON form is the stable
+integration surface for scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from .findings import Finding
+from .paths import repo_relative
+
+__all__ = [
+    "rule_metadata",
+    "to_json_document",
+    "to_sarif",
+    "render",
+]
+
+_TOOL_NAME = "repro-lint"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_SARIF_VERSION = "2.1.0"
+
+
+def rule_metadata() -> list[dict[str, str]]:
+    """Identity metadata for every rule — per-file tiers and project tier.
+
+    Imported lazily so serialization stays usable even if one rule module
+    fails to import (the catalog then simply omits that family).
+    """
+    from .project.report import PROJECT_RULE_CATALOG
+    from .rules import ALL_RULES
+
+    entries: dict[str, dict[str, str]] = {}
+    for rule in ALL_RULES:
+        entries[rule.rule_id] = {
+            "id": rule.rule_id,
+            "family": rule.family,
+            "severity": rule.severity,
+            "summary": rule.summary,
+        }
+    for meta in PROJECT_RULE_CATALOG:
+        entries[meta.rule_id] = {
+            "id": meta.rule_id,
+            "family": meta.family,
+            "severity": meta.severity,
+            "summary": meta.summary,
+        }
+    return [entries[rule_id] for rule_id in sorted(entries)]
+
+
+def _finding_json(finding: Finding) -> dict[str, Any]:
+    return {
+        "path": repo_relative(finding.path),
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "suppressed": finding.suppressed,
+        "message": finding.message,
+    }
+
+
+def to_json_document(
+    findings: Iterable[Finding],
+    project: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The canonical JSON report shape (``repro lint --format json``)."""
+    doc: dict[str, Any] = {
+        "version": 1,
+        "tool": _TOOL_NAME,
+        "rules": rule_metadata(),
+        "findings": [_finding_json(f) for f in sorted(findings)],
+    }
+    if project is not None:
+        doc["project"] = project
+    return doc
+
+
+def to_sarif(
+    findings: Iterable[Finding],
+    project: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """A single-run SARIF 2.1.0 log for the given findings."""
+    results = []
+    for f in sorted(findings):
+        result: dict[str, Any] = {
+            "ruleId": f.rule,
+            "level": f.severity if f.severity in ("error", "warning") else "note",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": repo_relative(f.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.suppressed:
+            result["suppressions"] = [{"kind": "inSource"}]
+        results.append(result)
+
+    run: dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": _TOOL_NAME,
+                "informationUri": "https://example.invalid/repro-lint",
+                "rules": [
+                    {
+                        "id": meta["id"],
+                        "shortDescription": {"text": meta["summary"]},
+                        "defaultConfiguration": {
+                            "level": meta["severity"]
+                            if meta["severity"] in ("error", "warning")
+                            else "note"
+                        },
+                        "properties": {"family": meta["family"]},
+                    }
+                    for meta in rule_metadata()
+                ],
+            }
+        },
+        "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+        "columnKind": "utf16CodeUnits",
+        "results": results,
+    }
+    if project is not None:
+        run["properties"] = {"project": project}
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def render(
+    fmt: str,
+    findings: Iterable[Finding],
+    project: dict[str, Any] | None = None,
+) -> str:
+    """Serialize findings as ``json`` or ``sarif`` text (trailing newline)."""
+    if fmt == "json":
+        doc = to_json_document(findings, project)
+    elif fmt == "sarif":
+        doc = to_sarif(findings, project)
+    else:
+        raise ValueError(f"unknown machine format: {fmt!r}")
+    return json.dumps(doc, indent=2) + "\n"

@@ -112,7 +112,13 @@ class FileContext:
         ids = self.noqa[line]
         return ids is None or rule_id.upper() in ids
 
-    def add(self, rule_id: str, node: ast.AST, message: str) -> None:
+    def add(
+        self,
+        rule_id: str,
+        node: ast.AST,
+        message: str,
+        severity: str = "warning",
+    ) -> None:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
         self.findings.append(
@@ -123,6 +129,7 @@ class FileContext:
                 rule=rule_id,
                 message=message,
                 suppressed=self.is_suppressed(rule_id, line),
+                severity=severity,
             )
         )
 
@@ -139,12 +146,13 @@ class Rule(ast.NodeVisitor):
     rule_id: ClassVar[str] = "X000"
     family: ClassVar[str] = "misc"
     summary: ClassVar[str] = ""
+    severity: ClassVar[str] = "warning"
 
     def __init__(self, ctx: FileContext) -> None:
         self.ctx = ctx
 
     def report(self, node: ast.AST, message: str) -> None:
-        self.ctx.add(self.rule_id, node, message)
+        self.ctx.add(self.rule_id, node, message, severity=self.severity)
 
     def run(self) -> None:
         self.visit(self.ctx.tree)

@@ -1,0 +1,1 @@
+"""Fixture package: spec-seeded RNG and import-time registration only."""

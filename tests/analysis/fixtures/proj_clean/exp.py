@@ -1,0 +1,22 @@
+"""A clean experiment: every random stream descends from spec['seed']."""
+
+import numpy as np
+
+from .registry import register
+
+
+class Experiment:
+    def __init__(self, run_one):
+        self.run_one = run_one
+
+
+def simulate(seed, n):
+    rng = np.random.default_rng(seed)
+    return float(rng.standard_normal(n).sum())
+
+
+def run_one(spec):
+    return {"value": simulate(spec["seed"], spec["n"])}
+
+
+register("clean", Experiment(run_one=run_one))

@@ -1,0 +1,7 @@
+"""Import-time-only registration: the certified-safe shape."""
+
+REGISTRY: dict = {}
+
+
+def register(name, obj):
+    REGISTRY[name] = obj

@@ -1,0 +1,1 @@
+"""Fixture package: P7xx cache-purity violations."""

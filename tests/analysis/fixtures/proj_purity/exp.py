@@ -1,0 +1,16 @@
+"""run_one pulls the ambient reads into the cached call tree."""
+
+from .measure import ambient_metrics
+
+
+class Experiment:
+    def __init__(self, run_one):
+        self.run_one = run_one
+
+
+def run_one(spec):
+    metrics = ambient_metrics()
+    return {"seed": spec["seed"], **metrics}
+
+
+EXPERIMENT = Experiment(run_one=run_one)

@@ -1,0 +1,12 @@
+"""Ambient reads that poison a spec-keyed result cache."""
+
+import os
+import time
+
+
+def ambient_metrics():
+    t = time.perf_counter()  # P702: clock read
+    pid = os.getpid()  # P703: process identity
+    tag = os.environ["TAG"]  # P701: environment subscript
+    mode = os.getenv("MODE", "fast")  # P701: environment read
+    return {"t": t, "pid": pid, "tag": tag, "mode": mode}

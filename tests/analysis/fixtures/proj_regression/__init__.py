@@ -1,0 +1,6 @@
+"""Seeded regression fixture: post-import registry mutation from a worker.
+
+CI runs ``repro lint --project`` against this package and asserts a
+non-zero exit — proving the gate still catches the exact hazard class the
+G6xx family exists for (a worker-reachable ``_REGISTRY`` write).
+"""

@@ -1,0 +1,18 @@
+"""run_one calls register() after import: the forbidden shape."""
+
+from .registry import register
+
+
+class Experiment:
+    def __init__(self, run_one):
+        self.run_one = run_one
+
+
+def run_one(spec):
+    # Post-import registration from a worker-reachable function: each
+    # process's _REGISTRY diverges silently.  Must be flagged G601.
+    register(spec["name"], spec)
+    return {"ok": True}
+
+
+EXPERIMENT = Experiment(run_one=run_one)

@@ -1,0 +1,7 @@
+"""The registry under attack."""
+
+_REGISTRY: dict = {}
+
+
+def register(name, obj):
+    _REGISTRY[name] = obj

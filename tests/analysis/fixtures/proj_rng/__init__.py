@@ -1,0 +1,1 @@
+"""Fixture package: R5xx RNG-provenance violations."""

@@ -1,0 +1,19 @@
+"""Registers run_one so the helpers become worker-reachable."""
+
+from .rngs import make_ambient_rng, sample_global, stash_rng
+
+
+class Experiment:
+    def __init__(self, name, run_one):
+        self.name = name
+        self.run_one = run_one
+
+
+def run_one(spec):
+    gen = make_ambient_rng()
+    vals = sample_global(4)
+    stash_rng(spec["seed"])
+    return {"x": float(vals[0]) + gen.random()}
+
+
+EXPERIMENT = Experiment(name="rng", run_one=run_one)

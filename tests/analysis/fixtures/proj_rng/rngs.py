@@ -1,0 +1,26 @@
+"""Every way an RNG stream can lose its spec provenance."""
+
+import random
+import time
+
+import numpy as np
+
+_STREAM = np.random.default_rng(1234)  # R503: module-level RNG
+_CACHED = None
+
+
+def make_ambient_rng():
+    # R501: seeded from the clock, not from a spec parameter.
+    return np.random.default_rng(time.time_ns())
+
+
+def sample_global(n):
+    # R502 once worker-reachable: hidden process-global stream.
+    return np.random.random(n)
+
+
+def stash_rng(seed):
+    global _CACHED
+    # R503: RNG escaping into a module global through `global`.
+    _CACHED = random.Random(seed)
+    return _CACHED

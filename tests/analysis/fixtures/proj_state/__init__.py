@@ -1,0 +1,1 @@
+"""Fixture package: G6xx shared-state violations plus one safe registrar."""

@@ -1,0 +1,18 @@
+"""run_one reaches the mutators; register() stays import-time-only."""
+
+from .registry import register
+from .tally import bump, rebind
+
+
+class Experiment:
+    def __init__(self, run_one):
+        self.run_one = run_one
+
+
+def run_one(spec):
+    bump(spec["name"])
+    rebind(["fast"])
+    return {"n": 1}
+
+
+register("state", Experiment(run_one=run_one))

@@ -1,0 +1,15 @@
+"""Module-level registry: import-time use is safe, post-import is not."""
+
+REGISTRY: dict = {}
+_MODES: list = []
+
+
+def register(name, obj):
+    # Certified safe while only module scope reaches it.
+    REGISTRY[name] = obj
+
+
+def _reset_modes(modes):
+    global _MODES
+    # G602 once worker-reachable: rebinding a module global.
+    _MODES = list(modes)

@@ -1,0 +1,14 @@
+"""Cross-module container mutation from worker-reachable code."""
+
+from .registry import _reset_modes
+
+COUNTS: dict = {}
+
+
+def bump(name):
+    # G601 once worker-reachable: mutates a module-level container.
+    COUNTS[name] = COUNTS.get(name, 0) + 1
+
+
+def rebind(modes):
+    _reset_modes(modes)

@@ -1,0 +1,42 @@
+"""Shared helpers for the whole-program analysis tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.project import analyze_project, build_project
+
+FIXTURES = Path(__file__).parents[1] / "fixtures"
+SRC_ROOT = Path(__file__).parents[3] / "src" / "repro"
+
+
+@pytest.fixture(scope="session")
+def tree_report():
+    """One whole-tree analysis shared by every test that gates on it."""
+    return analyze_project(SRC_ROOT)
+
+
+@pytest.fixture(scope="session")
+def fixture_report():
+    """Analyze one fixture package by name (memoized per session)."""
+    cache = {}
+
+    def run(name: str):
+        if name not in cache:
+            cache[name] = analyze_project(FIXTURES / name)
+        return cache[name]
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def fixture_model():
+    """Build the project model for one fixture package (memoized)."""
+    cache = {}
+
+    def run(name: str):
+        if name not in cache:
+            cache[name] = build_project(FIXTURES / name)
+        return cache[name]
+
+    return run

@@ -1,0 +1,154 @@
+"""Call-graph edges and reachability closures."""
+
+import textwrap
+
+from repro.analysis.project import build_call_graph, build_project
+
+
+def _graph(tmp_path, files):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    for rel, body in files.items():
+        (pkg / rel).write_text(textwrap.dedent(body), encoding="utf-8")
+    model = build_project(pkg)
+    return build_call_graph(model)
+
+
+def test_direct_and_cross_module_edges(fixture_model):
+    model = fixture_model("proj_state")
+    graph = build_call_graph(model)
+    assert "proj_state.tally.bump" in graph.callees("proj_state.exp.run_one")
+    assert "proj_state.registry._reset_modes" in graph.callees(
+        "proj_state.tally.rebind"
+    )
+    # Module-scope register("state", ...) call: an import-time edge.
+    assert "proj_state.registry.register" in graph.callees(
+        "proj_state.exp.<module>"
+    )
+
+
+def test_constructor_links_to_init(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "mod.py": """
+            class Engine:
+                def __init__(self, seed):
+                    self.seed = seed
+
+            def make():
+                return Engine(7)
+            """,
+        },
+    )
+    assert "pkg.mod.Engine.__init__" in graph.callees("pkg.mod.make")
+
+
+def test_typed_local_and_self_method_edges(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "mod.py": """
+            class Engine:
+                def __init__(self):
+                    self.n = 0
+
+                def step(self):
+                    return self.finish()
+
+                def finish(self):
+                    return self.n
+
+            def drive():
+                eng = Engine()
+                return eng.step()
+            """,
+        },
+    )
+    assert "pkg.mod.Engine.step" in graph.callees("pkg.mod.drive")
+    assert "pkg.mod.Engine.finish" in graph.callees("pkg.mod.Engine.step")
+
+
+def test_callback_reference_edges(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "mod.py": """
+            import functools
+
+            def work(item, scale):
+                return item * scale
+
+            def fan_out(pool, items):
+                fn = functools.partial(work, scale=2)
+                return list(pool.imap_unordered(fn, items))
+            """,
+        },
+    )
+    # The partial(...) reference alone records that work may be called.
+    assert "pkg.mod.work" in graph.callees("pkg.mod.fan_out")
+
+
+def test_nested_def_call_edge(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "mod.py": """
+            def outer():
+                def inner():
+                    return 1
+                return inner()
+            """,
+        },
+    )
+    assert "pkg.mod.outer.<locals>.inner" in graph.callees("pkg.mod.outer")
+
+
+def test_alias_receiver_never_falls_back_to_unique_method(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "mod.py": """
+            import numpy as np
+
+            class Stats:
+                def mean(self):
+                    return 0.0
+
+            def summarize(values):
+                return np.mean(values)
+            """,
+        },
+    )
+    # np is an import alias: np.mean must NOT link to Stats.mean.
+    assert "pkg.mod.Stats.mean" not in graph.callees("pkg.mod.summarize")
+
+
+def test_reachability_returns_shortest_chain(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "mod.py": """
+            def leaf():
+                return 1
+
+            def middle():
+                return leaf()
+
+            def top():
+                middle()
+                return leaf()
+            """,
+        },
+    )
+    chains = graph.reachable(["pkg.mod.top"])
+    assert chains["pkg.mod.leaf"] == ("pkg.mod.top", "pkg.mod.leaf")
+    assert chains["pkg.mod.middle"] == ("pkg.mod.top", "pkg.mod.middle")
+    # Unreached nodes are absent, not mapped to empty chains.
+    assert "pkg.mod.<module>" not in chains

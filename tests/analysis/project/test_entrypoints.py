@@ -1,0 +1,96 @@
+"""Structural entry-point discovery: pools, partials, Experiment(run_one=)."""
+
+import textwrap
+
+from repro.analysis.project import build_project, find_entry_points
+
+
+def _entries(tmp_path, files):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    for rel, body in files.items():
+        (pkg / rel).write_text(textwrap.dedent(body), encoding="utf-8")
+    return find_entry_points(build_project(pkg))
+
+
+def test_fixture_packages_have_one_run_one_each(fixture_report):
+    for name in ("proj_rng", "proj_state", "proj_purity", "proj_clean"):
+        report = fixture_report(name)
+        kinds = [e["kind"] for e in report.entry_points]
+        assert kinds == ["run_one"], (name, report.entry_points)
+
+
+def test_pool_submission_direct_and_partial_wrapped(tmp_path):
+    entries = _entries(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "mod.py": """
+            import functools
+
+            def work(item):
+                return item
+
+            def scaled(item, scale):
+                return item * scale
+
+            def launch(pool, items):
+                pool.map(work, items)
+                wrapped = functools.partial(scaled, scale=3)
+                pool.imap_unordered(wrapped, items)
+            """,
+        },
+    )
+    workers = {e.qualname for e in entries if e.kind == "worker"}
+    assert workers == {"pkg.mod.work", "pkg.mod.scaled"}
+
+
+def test_executor_submit_counts_as_worker(tmp_path):
+    entries = _entries(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "mod.py": """
+            def task(x):
+                return x
+
+            def go(executor):
+                return executor.submit(task, 1)
+            """,
+        },
+    )
+    assert [e.qualname for e in entries] == ["pkg.mod.task"]
+
+
+def test_experiment_run_one_keyword(tmp_path):
+    entries = _entries(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "mod.py": """
+            class Experiment:
+                def __init__(self, run_one=None):
+                    self.run_one = run_one
+
+            def run_one(spec):
+                return {}
+
+            EXP = Experiment(run_one=run_one)
+            """,
+        },
+    )
+    assert [(e.qualname, e.kind) for e in entries] == [
+        ("pkg.mod.run_one", "run_one")
+    ]
+
+
+def test_real_tree_entry_points(tree_report):
+    entries = {(e["qualname"], e["kind"]) for e in tree_report.entry_points}
+    # The multiprocessing executor's worker function.
+    assert ("repro.runner.executor._execute_one", "worker") in entries
+    # The scenario shard engines stay guarded explicitly.
+    assert ("repro.scenario.shard.ShardEngine.run", "shard") in entries
+    # Every registered experiment's run_one is a cache boundary.
+    run_ones = [q for q, kind in entries if kind == "run_one"]
+    assert len(run_ones) >= 10
+    assert any(q.startswith("repro.experiments.") for q in run_ones)

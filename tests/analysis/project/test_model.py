@@ -1,0 +1,106 @@
+"""Project model: symbol tables, alias resolution, global classification."""
+
+import textwrap
+
+from repro.analysis.project import build_project
+
+
+def _write_pkg(tmp_path, files):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    for rel, body in files.items():
+        target = pkg / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(body), encoding="utf-8")
+    return pkg
+
+
+def test_modules_and_symbols_harvested(fixture_model):
+    model = fixture_model("proj_state")
+    assert set(model.modules) == {
+        "proj_state",
+        "proj_state.exp",
+        "proj_state.registry",
+        "proj_state.tally",
+    }
+    registry = model.modules["proj_state.registry"]
+    assert "register" in registry.functions
+    assert "_reset_modes" in registry.functions
+    assert model.function_by_qualname("proj_state.tally.bump") is not None
+
+
+def test_relative_import_aliases(fixture_model):
+    model = fixture_model("proj_state")
+    exp = model.modules["proj_state.exp"]
+    assert exp.aliases["register"] == "proj_state.registry.register"
+    assert exp.aliases["bump"] == "proj_state.tally.bump"
+    symbol = model.resolve(exp, "register")
+    assert symbol is not None and symbol.kind == "function"
+    assert symbol.qualname == "proj_state.registry.register"
+
+
+def test_global_classification(fixture_model):
+    state = fixture_model("proj_state")
+    rng = fixture_model("proj_rng")
+    counts = state.global_by_qualname("proj_state.tally.COUNTS")
+    assert counts is not None and counts.kind == "container"
+    stream = rng.global_by_qualname("proj_rng.rngs._STREAM")
+    assert stream is not None and stream.kind == "rng"
+
+
+def test_nested_function_inside_try_is_harvested(tmp_path):
+    pkg = _write_pkg(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "mod.py": """
+            def outer(env):
+                try:
+                    def driver(tick):
+                        return tick + 1
+                    return driver(0)
+                finally:
+                    pass
+            """,
+        },
+    )
+    model = build_project(pkg)
+    mod = model.modules["pkg.mod"]
+    assert "outer.<locals>.driver" in mod.functions
+    nested = mod.functions["outer.<locals>.driver"]
+    assert nested.parent == "pkg.mod.outer"
+
+
+def test_reexport_chasing_through_package_init(tmp_path):
+    pkg = _write_pkg(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "inner/__init__.py": "from .impl import helper\n",
+            "inner/impl.py": "def helper():\n    return 1\n",
+            "main.py": "from .inner import helper\n\n"
+            "def use():\n    return helper()\n",
+        },
+    )
+    model = build_project(pkg)
+    main = model.modules["pkg.main"]
+    symbol = model.resolve(main, "helper")
+    assert symbol is not None and symbol.kind == "function"
+    assert symbol.qualname == "pkg.inner.impl.helper"
+
+
+def test_parse_errors_are_collected_not_fatal(tmp_path):
+    pkg = _write_pkg(
+        tmp_path,
+        {
+            "__init__.py": "",
+            "good.py": "def ok():\n    return 1\n",
+            "broken.py": "def broken(:\n",
+        },
+    )
+    model = build_project(pkg)
+    assert "pkg.good" in model.modules
+    assert "pkg.broken" not in model.modules
+    assert len(model.errors) == 1
+    (bad_path,) = model.errors
+    assert bad_path.endswith("broken.py")
