@@ -11,6 +11,21 @@ import pytest
 
 from repro.defaults import DEFAULT_SEED
 
+# Single source for the ablation-benchmark workload sizes.  The session
+# ablations share one canonical (num_users, duration_s) workload; the
+# sweep-style ablations (cellsize, grouping, multiap, prediction) size
+# their own axes here instead of hard-coding kwargs per file.
+ABLATION_SESSION_WORKLOAD = {"num_users": 5, "duration_s": 8.0}
+
+ABLATION_WORKLOADS = {
+    "adaptation": dict(ABLATION_SESSION_WORKLOAD),
+    "blockage": dict(ABLATION_SESSION_WORKLOAD),
+    "cellsize": {"num_users": 8, "duration_s": 6.0},
+    "grouping": {"user_counts": (2, 4, 6), "num_frames": 24},
+    "multiap": {"user_counts": (2, 4, 6, 8), "num_instants": 10},
+    "prediction": {"num_users": 10, "duration_s": 10.0},
+}
+
 
 def pytest_configure(config):
     config.addinivalue_line(
@@ -22,6 +37,16 @@ def pytest_configure(config):
 def default_seed() -> int:
     """The repo-wide seed — same source the experiment runners use."""
     return DEFAULT_SEED
+
+
+@pytest.fixture(scope="session")
+def ablation_workload():
+    """Shared ablation workload kwargs, keyed by ablation short name."""
+
+    def _workload(name: str) -> dict:
+        return dict(ABLATION_WORKLOADS[name])
+
+    return _workload
 
 
 @pytest.fixture(scope="session")

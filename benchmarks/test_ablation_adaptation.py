@@ -10,10 +10,10 @@ from repro.experiments import run_adaptation_ablation
 
 
 @pytest.mark.repro
-def test_ablation_adaptation(benchmark, print_result):
+def test_ablation_adaptation(benchmark, print_result, ablation_workload):
     result = benchmark.pedantic(
         run_adaptation_ablation,
-        kwargs={"num_users": 5, "duration_s": 8.0},
+        kwargs=ablation_workload("adaptation"),
         rounds=1,
         iterations=1,
     )

@@ -11,10 +11,10 @@ from repro.experiments import run_blockage_ablation
 
 
 @pytest.mark.repro
-def test_ablation_blockage(benchmark, print_result):
+def test_ablation_blockage(benchmark, print_result, ablation_workload):
     result = benchmark.pedantic(
         run_blockage_ablation,
-        kwargs={"num_users": 5, "duration_s": 8.0},
+        kwargs=ablation_workload("blockage"),
         rounds=1,
         iterations=1,
     )

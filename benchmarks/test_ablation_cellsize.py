@@ -10,10 +10,10 @@ from repro.experiments import run_cellsize_ablation
 
 
 @pytest.mark.repro
-def test_ablation_cellsize(benchmark, print_result):
+def test_ablation_cellsize(benchmark, print_result, ablation_workload):
     result = benchmark.pedantic(
         run_cellsize_ablation,
-        kwargs={"num_users": 8, "duration_s": 6.0},
+        kwargs=ablation_workload("cellsize"),
         rounds=1,
         iterations=1,
     )

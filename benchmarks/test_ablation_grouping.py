@@ -12,10 +12,10 @@ from repro.experiments import run_grouping_ablation
 
 
 @pytest.mark.repro
-def test_ablation_grouping(benchmark, print_result):
+def test_ablation_grouping(benchmark, print_result, ablation_workload):
     result = benchmark.pedantic(
         run_grouping_ablation,
-        kwargs={"user_counts": (2, 4, 6), "num_frames": 24},
+        kwargs=ablation_workload("grouping"),
         rounds=1,
         iterations=1,
     )

@@ -11,10 +11,10 @@ from repro.experiments import run_multiap_ablation
 
 
 @pytest.mark.repro
-def test_ablation_multiap(benchmark, print_result):
+def test_ablation_multiap(benchmark, print_result, ablation_workload):
     result = benchmark.pedantic(
         run_multiap_ablation,
-        kwargs={"user_counts": (2, 4, 6, 8), "num_instants": 10},
+        kwargs=ablation_workload("multiap"),
         rounds=1,
         iterations=1,
     )

@@ -11,10 +11,10 @@ from repro.experiments import run_prediction_ablation
 
 
 @pytest.mark.repro
-def test_ablation_prediction(benchmark, print_result):
+def test_ablation_prediction(benchmark, print_result, ablation_workload):
     result = benchmark.pedantic(
         run_prediction_ablation,
-        kwargs={"num_users": 10, "duration_s": 10.0},
+        kwargs=ablation_workload("prediction"),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,162 @@
+"""Registry serving the six experiment-layer ``run_*_ablation`` entry points.
+
+Each hand-rolled ablation (DESIGN.md Abl-A..E plus multi-AP) registers
+itself here **once** — its runner-experiment name and the engine
+components it evidences — and is then *served by the engine*: every call
+goes through :func:`run_registered`, which is the cached-runner path
+(:func:`repro.runner.executor.run_experiment` with a spec-keyed
+:class:`~repro.runner.cache.ResultCache`), so repeated ablation runs hit
+the on-disk cache like every other experiment instead of recomputing.
+
+This is the compatibility layer; new ablation work should use
+:class:`repro.ablation.engine.AblationStudy` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..runner.cache import ResultCache
+from ..runner.executor import run_experiment
+from .components import get_component
+
+__all__ = [
+    "LegacyAblation",
+    "LEGACY_ABLATIONS",
+    "register_legacy",
+    "legacy_names",
+    "get_legacy",
+    "run_registered",
+]
+
+
+@dataclass(frozen=True)
+class LegacyAblation:
+    """One hand-rolled ablation study, described declaratively.
+
+    ``experiment`` names the registered runner experiment that computes
+    it; ``components`` names the engine components whose value the study
+    evidences (validated against the component registry).
+    """
+
+    name: str
+    experiment: str
+    components: tuple[str, ...]
+    description: str
+
+
+LEGACY_ABLATIONS: dict[str, LegacyAblation] = {}
+"""Registered legacy ablations, keyed by short name."""
+
+
+def register_legacy(
+    name: str,
+    experiment: str,
+    components: tuple[str, ...],
+    description: str,
+) -> LegacyAblation:
+    """Register (idempotently) one legacy ablation study.
+
+    Component names are validated against the global component registry
+    at registration time, so a typo fails on import, not mid-run.
+    """
+    for component in components:
+        get_component(component)
+    entry = LegacyAblation(
+        name=name,
+        experiment=experiment,
+        components=tuple(components),
+        description=description,
+    )
+    existing = LEGACY_ABLATIONS.get(name)
+    if existing is not None:
+        if existing != entry:
+            raise ValueError(
+                f"legacy ablation {name!r} already registered differently"
+            )
+        return existing
+    LEGACY_ABLATIONS[name] = entry
+    return entry
+
+
+def legacy_names() -> tuple[str, ...]:
+    """All registered legacy-ablation names, sorted."""
+    return tuple(sorted(LEGACY_ABLATIONS))
+
+
+def get_legacy(name: str) -> LegacyAblation:
+    """Look a legacy ablation up by name, with a helpful error."""
+    try:
+        return LEGACY_ABLATIONS[name]
+    except KeyError:
+        known = ", ".join(legacy_names())
+        raise KeyError(f"unknown legacy ablation {name!r}; registered: {known}") from None
+
+
+def run_registered(
+    name: str,
+    overrides: Mapping[str, Any] | None = None,
+    *,
+    scale: str = "default",
+    workers: int = 1,
+    cache: ResultCache | None | bool = True,
+) -> dict[str, Any]:
+    """Run a registered legacy ablation through the cached runner.
+
+    ``cache=True`` (the default) uses the standard on-disk
+    :class:`ResultCache`; pass ``False``/``None`` to force recomputation
+    or an explicit cache instance to control its location.
+    """
+    entry = get_legacy(name)
+    if cache is True:
+        resolved_cache: ResultCache | None = ResultCache()
+    elif cache is False:
+        resolved_cache = None
+    else:
+        resolved_cache = cache
+    return run_experiment(
+        entry.experiment,
+        overrides,
+        scale=scale,
+        workers=workers,
+        cache=resolved_cache,
+    )
+
+
+register_legacy(
+    "prediction",
+    experiment="ablation_prediction",
+    components=("prediction",),
+    description="Abl-A: viewport-prediction accuracy per predictor family.",
+)
+register_legacy(
+    "blockage",
+    experiment="ablation_blockage",
+    components=("blockage",),
+    description="Abl-B: proactive blockage mitigation vs. reactive re-search.",
+)
+register_legacy(
+    "grouping",
+    experiment="ablation_grouping",
+    components=("grouping", "custom_beams"),
+    description="Abl-C: multicast grouping policies over the beam-level channel.",
+)
+register_legacy(
+    "adaptation",
+    experiment="ablation_adaptation",
+    components=("adaptation", "fec"),
+    description="Abl-D: rate-adaptation policies under a constrained link.",
+)
+register_legacy(
+    "cellsize",
+    experiment="ablation_cellsize",
+    components=("grouping",),
+    description="Abl-E: cell-size sweep — similarity and per-user traffic.",
+)
+register_legacy(
+    "multiap",
+    experiment="ablation_multiap",
+    components=("custom_beams", "blockage"),
+    description="Multi-AP coordination vs. single AP across user counts.",
+)

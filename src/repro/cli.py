@@ -12,6 +12,7 @@
     python -m repro obs analyze t.jsonl       # spans + latency attribution
     python -m repro obs check t.jsonl --spec slo.json   # SLO gating
     python -m repro bench loss_sweep          # BENCH_<n>.json perf point
+    python -m repro ablation --parallel 4     # component importance ranking
 
 Each command prints the same formatted rows the benchmarks assert on.
 ``lint`` forwards to :mod:`repro.analysis` (same as
@@ -19,7 +20,8 @@ Each command prints the same formatted rows the benchmarks assert on.
 deterministic parallel runner in :mod:`repro.runner.cli`; ``trace`` and
 ``obs`` forward to the observability layer in :mod:`repro.obs.cli`;
 ``bench`` forwards to the perf-trajectory harness in
-:mod:`repro.obs.bench`.
+:mod:`repro.obs.bench`; ``ablation`` forwards to the component-ablation
+engine in :mod:`repro.ablation.cli`.
 """
 
 from __future__ import annotations
@@ -213,6 +215,10 @@ def main(argv: list[str] | None = None) -> int:
         from .scenario.cli import main as scenario_main
 
         return scenario_main(argv[1:])
+    if argv and argv[0] == "ablation":
+        from .ablation.cli import main as ablation_main
+
+        return ablation_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

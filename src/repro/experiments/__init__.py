@@ -14,6 +14,7 @@ from .ablations import (
     run_multiap_ablation,
     run_prediction_ablation,
 )
+from . import ablation_engine  # noqa: F401  (registers ablation_session/_importance)
 from .common import (
     AP_POSITION,
     CONTENT_CENTER,

@@ -48,7 +48,8 @@ from ..prediction import (
     evaluate_predictor,
     predicted_visibility_iou,
 )
-from ..runner import Experiment, RunSpec, register, run_experiment
+from ..ablation.legacy import run_registered
+from ..runner import Experiment, RunSpec, register
 from .common import (
     AP_POSITION,
     DEFAULT_SEED,
@@ -103,8 +104,8 @@ def run_prediction_ablation(
     seed: int = DEFAULT_SEED,
 ) -> PredictionAblation:
     """Abl-A: viewport-prediction accuracy per predictor (pos/ori/IoU)."""
-    merged = run_experiment(
-        "ablation_prediction",
+    merged = run_registered(
+        "prediction",
         {
             "num_users": num_users,
             "duration_s": duration_s,
@@ -251,8 +252,8 @@ def run_blockage_ablation(
     volumetric streaming actually occupies, and the one where blockage
     hiccups turn into stalls.
     """
-    merged = run_experiment(
-        "ablation_blockage",
+    merged = run_registered(
+        "blockage",
         {
             "num_users": num_users,
             "duration_s": duration_s,
@@ -377,8 +378,8 @@ def run_grouping_ablation(
     seed: int = DEFAULT_SEED,
 ) -> GroupingAblation:
     """Unicast vs. greedy vs. exhaustive grouping on the beam-level channel."""
-    merged = run_experiment(
-        "ablation_grouping",
+    merged = run_registered(
+        "grouping",
         {
             "user_counts": tuple(user_counts),
             "duration_s": duration_s,
@@ -463,8 +464,8 @@ def run_adaptation_ablation(
     forecast + PHY fusion) eliminates stalls *and* switches at a small
     bitrate cost.
     """
-    merged = run_experiment(
-        "ablation_adaptation",
+    merged = run_registered(
+        "adaptation",
         {"num_users": num_users, "duration_s": duration_s, "seed": seed},
     )
     return AdaptationAblation(
@@ -557,8 +558,8 @@ def run_cellsize_ablation(
     seed: int = DEFAULT_SEED,
 ) -> CellSizeAblation:
     """Granularity trade-off: finer cells cut traffic but reduce overlap."""
-    merged = run_experiment(
-        "ablation_cellsize",
+    merged = run_registered(
+        "cellsize",
         {
             "cell_sizes": tuple(cell_sizes),
             "num_users": num_users,
@@ -642,8 +643,8 @@ def run_multiap_ablation(
     whole room against two coordinated APs (interference-aware: concurrent
     spatial reuse when SINR allows, AP-TDMA otherwise).
     """
-    merged = run_experiment(
-        "ablation_multiap",
+    merged = run_registered(
+        "multiap",
         {
             "user_counts": tuple(user_counts),
             "num_instants": num_instants,

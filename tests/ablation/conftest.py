@@ -1,0 +1,59 @@
+"""Shared helpers for the ablation-engine tests.
+
+``fake_result`` builds an :class:`~repro.ablation.engine.AblationResult`
+from synthetic per-variant metrics so the scoring/reporting layers can be
+tested exactly, without running any sessions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ablation.engine import AblationConfig, AblationResult, AblationStudy
+
+
+def synthetic_metrics(config: AblationConfig, label: str) -> dict:
+    """Deterministic fake metrics for one variant, derived from its label.
+
+    Pure arithmetic on the label's bytes: permutation-invariant, no RNG,
+    and distinct per variant, so reports built from it are stable across
+    test runs and component-selection orders.
+    """
+    scen = config.scenario_spec()
+    salt = sum(label.encode())
+    return {
+        m.name: float((salt * (i + 3)) % 97) / 10.0
+        for i, m in enumerate(scen.metrics)
+    }
+
+
+@pytest.fixture()
+def study() -> AblationStudy:
+    """A fresh (stateless) engine instance."""
+    return AblationStudy()
+
+
+@pytest.fixture()
+def make_fake_result(study):
+    """Build an executed-looking AblationResult from synthetic metrics."""
+
+    def _make(config: AblationConfig, metrics=None) -> AblationResult:
+        runs = tuple(study.generate_runs(config))
+        resolved = {
+            run.label: (
+                metrics[run.label]
+                if metrics is not None
+                else synthetic_metrics(config, run.label)
+            )
+            for run in runs
+        }
+        return AblationResult(
+            config=config,
+            runs=runs,
+            merged={label: dict(m) for label, m in resolved.items()},
+            metrics=resolved,
+            cached_units=0,
+            total_units=sum(len(run.specs) for run in runs),
+        )
+
+    return _make

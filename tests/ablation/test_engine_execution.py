@@ -1,0 +1,89 @@
+"""End-to-end engine execution: bit-identity, caching, and the dual path.
+
+Real (small-scale) session runs, kept to 2-component matrices so the
+whole module stays a few seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ablation.engine import AblationStudy, write_report
+from repro.runner import ResultCache, canonical_json, run_experiment
+
+COMPONENTS = ("fec", "grouping")
+
+
+@pytest.fixture(scope="module")
+def executed():
+    """One serial, uncached execution shared by the cheap assertions."""
+    study = AblationStudy()
+    config = study.configure(components=COMPONENTS, scale="small")
+    return study, config, study.execute(config, workers=1, cache=None)
+
+
+def test_execute_produces_metrics_for_every_variant(executed):
+    study, config, result = executed
+    assert set(result.metrics) == {"baseline", "no-fec", "no-grouping"}
+    scen = config.scenario_spec()
+    for metrics in result.metrics.values():
+        for metric in scen.metrics:
+            assert metric.name in metrics
+    assert result.total_units == 3
+    assert result.cached_units == 0
+
+
+def test_ablations_degrade_the_small_workload(executed):
+    """Paper-level sanity: removing FEC or grouping hurts under loss."""
+    study, config, result = executed
+    importance = study.compute_importance(result)
+    assert importance["fec"].degradation["qoe_score"] > 0
+    assert importance["grouping"].degradation["qoe_score"] > 0
+    assert importance["fec"].degradation["stall_time_s"] > 0
+    ranking = study.rank_components(result)
+    assert len(ranking) == 2 and ranking[0][1] >= ranking[1][1]
+
+
+def test_serial_parallel_and_cache_hit_reports_are_byte_identical(
+    executed, tmp_path
+):
+    study, config, serial_result = executed
+    serial = canonical_json(study.build_report(serial_result))
+
+    cache = ResultCache(root=tmp_path / "cache")
+    parallel_result = study.execute(config, workers=4, cache=cache)
+    parallel = canonical_json(study.build_report(parallel_result))
+    assert parallel == serial
+    assert parallel_result.cached_units == 0
+
+    rerun_result = study.execute(config, workers=1, cache=cache)
+    assert rerun_result.cached_units == rerun_result.total_units == 3
+    assert canonical_json(study.build_report(rerun_result)) == serial
+
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    write_report(study.build_report(parallel_result), a)
+    write_report(study.build_report(rerun_result), b)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_registered_importance_experiment_matches_engine_path(
+    executed, tmp_path
+):
+    """``repro run ablation_importance`` and the engine agree bytewise."""
+    study, config, serial_result = executed
+    engine_report = study.build_report(serial_result)
+    merged = run_experiment(
+        "ablation_importance",
+        {"components": COMPONENTS},
+        scale="small",
+        cache=ResultCache(root=tmp_path / "cache"),
+    )
+    assert canonical_json(merged) == canonical_json(engine_report)
+
+
+def test_seed_override_changes_the_study(executed):
+    study, config, result = executed
+    reseeded = study.configure(components=COMPONENTS, scale="small", seed=11)
+    runs = study.generate_runs(reseeded)
+    assert all(run.params["seed"] == 11 for run in runs)
+    assert runs[0].specs[0] != study.generate_runs(config)[0].specs[0]

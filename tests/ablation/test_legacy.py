@@ -1,0 +1,62 @@
+"""The legacy registry: six studies, declared once, served by the runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ablation import legacy_names, run_registered
+from repro.ablation.legacy import LEGACY_ABLATIONS, get_legacy, register_legacy
+from repro.runner import ResultCache, canonical_json, experiment_names
+
+
+def test_all_six_legacy_ablations_are_registered():
+    assert legacy_names() == (
+        "adaptation",
+        "blockage",
+        "cellsize",
+        "grouping",
+        "multiap",
+        "prediction",
+    )
+
+
+def test_legacy_entries_point_at_registered_experiments():
+    registered = set(experiment_names())
+    for name in legacy_names():
+        entry = get_legacy(name)
+        assert entry.experiment in registered
+        assert entry.components  # every study evidences >= 1 component
+
+
+def test_reregistration_is_idempotent_but_conflicts_raise():
+    entry = get_legacy("blockage")
+    assert (
+        register_legacy(
+            "blockage", entry.experiment, entry.components, entry.description
+        )
+        is entry
+    )
+    with pytest.raises(ValueError, match="already registered"):
+        register_legacy("blockage", "venue_scale", entry.components, "different")
+
+
+def test_unknown_legacy_name_is_a_helpful_error():
+    with pytest.raises(KeyError, match="registered:"):
+        get_legacy("warp")
+    assert "warp" not in LEGACY_ABLATIONS
+
+
+def test_run_registered_hits_the_spec_keyed_cache(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    overrides = {"num_users": 3, "duration_s": 2.0}
+    first = run_registered("blockage", overrides, cache=cache)
+    second = run_registered("blockage", overrides, cache=cache)
+    assert canonical_json(first) == canonical_json(second)
+    # the cache actually holds the study's work units now
+    assert list((tmp_path / "cache").rglob("*.json"))
+
+
+def test_run_registered_cache_false_bypasses_disk(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unused"))
+    run_registered("blockage", {"num_users": 3, "duration_s": 2.0}, cache=False)
+    assert not (tmp_path / "unused").exists()

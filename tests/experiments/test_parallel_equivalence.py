@@ -41,6 +41,7 @@ EXPECTED_EXPERIMENTS = (
     "ablation_adaptation",
     "ablation_cellsize",
     "ablation_multiap",
+    "ablation_session",
 )
 
 # Cheap experiments re-run a third time for the explicit same-seed check.

@@ -33,9 +33,17 @@ MODULE_EXPERIMENTS = {
         "ablation_cellsize",
         "ablation_multiap",
     ),
+    "ablation_engine": (
+        "ablation_session",
+        "ablation_importance",
+    ),
 }
 
 NON_EXPERIMENT_MODULES = {"__init__", "common"}
+
+# Composite experiments decompose into another experiment's work units
+# (the ablation study fans out over ablation_session/venue_scale specs).
+COMPOSITE_EXPERIMENTS = {"ablation_importance": "ablation_session"}
 
 
 def test_every_module_is_registered():
@@ -62,7 +70,7 @@ def test_decompose_produces_consistent_specs(name):
         specs = list(experiment.decompose(params))
         assert specs, f"{name} decomposed to zero work units at {scale}"
         for spec in specs:
-            assert spec.experiment == name
+            assert spec.experiment == COMPOSITE_EXPERIMENTS.get(name, name)
             assert spec.seed == params["seed"]
         assert len(set(specs)) == len(specs), f"{name} emitted duplicate specs"
 
