@@ -107,3 +107,16 @@ component(
     "Cross-layer quality adaptation driven by MAC feedback; ablated to a "
     "fixed highest-quality ladder position.",
 )
+component(
+    "utility_adaptation",
+    "Utility-optimal rate allocation",
+    "Rate-utility quality optimization (distance/visibility-weighted "
+    "log-rate utility under the MAC budget); ablated to the greedy "
+    "budget-fill cross-layer heuristic.",
+)
+component(
+    "qoe_grouping",
+    "QoE-aware multicast grouping",
+    "Multicast merges scored by predicted QoE delta; ablated to the raw "
+    "airtime-greedy similarity grouper.",
+)

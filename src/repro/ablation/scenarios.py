@@ -288,7 +288,55 @@ VENUE = Scenario(
     ),
 )
 
-SCENARIOS: dict[str, Scenario] = {s.name: s for s in (SESSION, VENUE)}
+POLICY = Scenario(
+    name="policy",
+    experiment="ablation_session",
+    description=(
+        "The same closed-loop session, ablating the optimizing policies "
+        "back to their heuristic counterparts: utility-optimal adaptation "
+        "back to greedy cross-layer fill, QoE-aware grouping back to "
+        "airtime-greedy similarity merges.  Kept separate from the "
+        "'session' scenario so its baselines (which run the optimizing "
+        "policies) do not perturb the historical importance rankings."
+    ),
+    toggles=(
+        toggle(
+            "utility_adaptation",
+            baseline={"adaptation": "utility-optimal"},
+            ablated={"adaptation": "cross-layer"},
+        ),
+        toggle(
+            "qoe_grouping",
+            baseline={"grouping": "qoe"},
+            ablated={"grouping": "greedy"},
+        ),
+    ),
+    metrics=(
+        MetricSpec(
+            "qoe_score",
+            higher_is_better=True,
+            description="Mean per-user QoE (bitrate minus stall and switch penalties).",
+        ),
+        MetricSpec(
+            "mean_fps",
+            higher_is_better=True,
+            description="Mean delivered frame rate across users.",
+        ),
+        MetricSpec(
+            "stall_time_s",
+            higher_is_better=False,
+            description="Total stall time summed over users.",
+        ),
+        MetricSpec(
+            "late_fraction",
+            higher_is_better=False,
+            description="Fraction of played frames that missed their deadline.",
+        ),
+    ),
+    extract=_extract_session,
+)
+
+SCENARIOS: dict[str, Scenario] = {s.name: s for s in (SESSION, VENUE, POLICY)}
 """All scenarios, keyed by name."""
 
 

@@ -22,6 +22,7 @@ from .grouping import (
     exhaustive_grouping,
     greedy_similarity_grouping,
     no_grouping,
+    qoe_aware_grouping,
 )
 from .mpc import MpcPolicy
 from .multiap import (
@@ -34,6 +35,7 @@ from .multiap import (
 )
 from .qoe import QoEReport, QoEWeights, UserSessionStats
 from .rates import CapacityRateProvider, ChannelRateProvider, RateProvider
+from .policies import PolicyInfo, adaptation_policy_catalog, grouping_strategy_catalog
 from .session import SessionConfig, StreamingSession, measure_max_fps
 from .similarity import (
     VisibilityMaps,
@@ -42,6 +44,17 @@ from .similarity import (
     group_iou_samples,
     iou_series,
     pairwise_iou_samples,
+)
+from .utility import (
+    AllocationResult,
+    UserAllocationInput,
+    UtilityModel,
+    UtilityOptimalPolicy,
+    allocate_qualities,
+    allocate_qualities_dp,
+    allocate_qualities_greedy,
+    assignment_utility,
+    quality_rate_table,
 )
 
 __all__ = [
@@ -63,6 +76,7 @@ __all__ = [
     "exhaustive_grouping",
     "greedy_similarity_grouping",
     "no_grouping",
+    "qoe_aware_grouping",
     "MpcPolicy",
     "ApAssignment",
     "MultiApDeployment",
@@ -76,9 +90,21 @@ __all__ = [
     "CapacityRateProvider",
     "ChannelRateProvider",
     "RateProvider",
+    "PolicyInfo",
+    "adaptation_policy_catalog",
+    "grouping_strategy_catalog",
     "SessionConfig",
     "StreamingSession",
     "measure_max_fps",
+    "AllocationResult",
+    "UserAllocationInput",
+    "UtilityModel",
+    "UtilityOptimalPolicy",
+    "allocate_qualities",
+    "allocate_qualities_dp",
+    "allocate_qualities_greedy",
+    "assignment_utility",
+    "quality_rate_table",
     "VisibilityMaps",
     "compute_visibility_maps",
     "group_iou",

@@ -106,6 +106,8 @@ def _best_quality_under(budget_mbps: float, visible_fraction: float) -> str:
 class FixedQualityPolicy:
     """Always stream the configured quality."""
 
+    policy_name = "fixed"
+
     quality: str = "high"
 
     def __post_init__(self) -> None:
@@ -126,6 +128,8 @@ class ProactivePrefetchPolicy:
     quality adaptation, for the blockage-mitigation ablation.
     """
 
+    policy_name = "proactive-prefetch"
+
     quality: str = "high"
     prefetch_frames: int = 15
 
@@ -145,6 +149,8 @@ class ProactivePrefetchPolicy:
 @dataclass
 class ThroughputPolicy:
     """Rate-based adaptation on the application-layer EWMA."""
+
+    policy_name = "throughput"
 
     safety: float = 0.85
     predictors: dict[int, EwmaThroughputPredictor] = field(default_factory=dict)
@@ -173,6 +179,8 @@ class BufferPolicy:
     qualities.
     """
 
+    policy_name = "buffer"
+
     reservoir_s: float = 0.5
     cushion_s: float = 2.0
 
@@ -194,6 +202,8 @@ class BufferPolicy:
 @dataclass
 class CrossLayerPolicy:
     """The paper's cross-layer scheme: PHY + app fusion, proactive actions."""
+
+    policy_name = "cross-layer"
 
     safety: float = 0.9
     prefetch_on_blockage_frames: int = 15  # prefetch 0.5 s ahead of a blockage

@@ -28,12 +28,14 @@ import numpy as np
 from ..mac.scheduler import FramePlan, UserDemand, plan_frame
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from .qoe import QoEWeights
 from .similarity import group_iou  # noqa: F401  (scalar reference, re-exported)
 
 __all__ = [
     "GroupingResult",
     "no_grouping",
     "greedy_similarity_grouping",
+    "qoe_aware_grouping",
     "exhaustive_grouping",
 ]
 
@@ -198,6 +200,99 @@ def greedy_similarity_grouping(
                 break
     return _record(
         GroupingResult(plan=best_plan, policy="greedy-similarity"), frame=frame
+    )
+
+
+def _predicted_qoe(
+    plan: FramePlan,
+    demand_list: list[UserDemand],
+    target_fps: float,
+    weights: QoEWeights,
+) -> float:
+    """Predicted per-user QoE (Mbps-equivalent) of delivering ``plan``.
+
+    Maps the plan's airtime onto the session QoE decomposition of
+    :mod:`repro.core.qoe` before any session runs: the sustainable frame
+    rate bounds each user's delivered bitrate, and the fraction of the
+    target rate the plan misses is charged as predicted stall time at the
+    same ``stall_penalty_mbps`` the closed loop uses.  Switches are a
+    session-history effect and predict to zero here.
+    """
+    fps = plan.achievable_fps(cap_fps=target_fps)
+    stall_fraction = max(0.0, 1.0 - fps / target_fps)
+    score = 0.0
+    for d in demand_list:
+        bitrate_mbps = d.total_bytes * 8.0 * fps / 1e6
+        score += bitrate_mbps - weights.stall_penalty_mbps * stall_fraction
+    return score / max(1, len(demand_list))
+
+
+def qoe_aware_grouping(
+    demands: Sequence[UserDemand],
+    multicast_rate_fn: RateFn,
+    target_fps: float = 30.0,
+    min_iou: float = 0.05,
+    weights: QoEWeights | None = None,
+    frame: int | None = None,
+) -> GroupingResult:
+    """Merge users when the merge improves *predicted QoE*, not raw airtime.
+
+    Same candidate generation as :func:`greedy_similarity_grouping` (group
+    pairs above ``min_iou``, most-similar first) but each candidate merge
+    is scored by the QoE delta it predicts via :func:`_predicted_qoe`, in
+    the QoE-impact-driven clustering spirit of Perfecto et al.
+    (arXiv:1811.07388).  Each round commits the single best
+    strictly-improving merge.  The practical difference from the airtime
+    grouper: once the plan already sustains ``target_fps`` the frame rate
+    is capped, further airtime savings predict zero QoE delta, and merging
+    stops — beam complexity is never added for QoE the users cannot see.
+
+    Deterministic under input order: demands are canonicalized by user id
+    before any tie-breaking comparison, so shuffled inputs produce
+    bit-identical partitions.
+    """
+    qoe_weights = weights if weights is not None else QoEWeights()
+    demand_list = sorted(demands, key=lambda d: d.user_id)
+    groups: list[tuple[int, ...]] = [(d.user_id,) for d in demand_list]
+    rows, num_cells = _member_rows(demand_list)
+
+    def plan_for(partition: list[tuple[int, ...]]) -> FramePlan:
+        multicast_groups = [
+            (g, multicast_rate_fn(g)) for g in partition if len(g) > 1
+        ]
+        return plan_frame(demand_list, groups=multicast_groups)
+
+    best_plan = plan_for(groups)
+    best_qoe = _predicted_qoe(best_plan, demand_list, target_fps, qoe_weights)
+    improved = True
+    while improved and len(groups) > 1:
+        improved = False
+        iou_matrix = _group_iou_matrix(groups, rows, num_cells)
+        candidates = []
+        for ia, ib in combinations(range(len(groups)), 2):
+            iou = float(iou_matrix[ia, ib])
+            if iou >= min_iou:
+                candidates.append((iou, groups[ia], groups[ib]))
+        # Most-similar candidates first; the strict `>` below means the
+        # earliest candidate wins exact QoE ties, deterministically.
+        candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+        best_merge: tuple[list[tuple[int, ...]], FramePlan, float] | None = None
+        for _, ga, gb in candidates:
+            merged = tuple(sorted(ga + gb))
+            trial = [g for g in groups if g not in (ga, gb)] + [merged]
+            trial_plan = plan_for(trial)
+            trial_qoe = _predicted_qoe(
+                trial_plan, demand_list, target_fps, qoe_weights
+            )
+            if trial_qoe > best_qoe + 1e-12 and (
+                best_merge is None or trial_qoe > best_merge[2]
+            ):
+                best_merge = (trial, trial_plan, trial_qoe)
+        if best_merge is not None:
+            groups, best_plan, best_qoe = best_merge
+            improved = True
+    return _record(
+        GroupingResult(plan=best_plan, policy="qoe-aware"), frame=frame
     )
 
 

@@ -36,6 +36,8 @@ _EV_MPC = _trace.event_type(
 class MpcPolicy:
     """Lookahead-H enumeration MPC over the three paper qualities."""
 
+    policy_name = "mpc"
+
     horizon: int = 3
     chunk_s: float = 1.0  # decision/chunk interval the plan simulates
     rebuffer_penalty: float = 500.0  # Mbps-equivalent per second of stall

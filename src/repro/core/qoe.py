@@ -55,8 +55,9 @@ PLAYBACK_STATE = _trace.event_type(
 ADAPTATION_DECISION = _trace.event_type(
     "core.adaptation_decision", layer="core",
     help="the adaptation policy committed a quality/prefetch decision for "
-         "one user",
-    fields=("user", "quality", "prefetch_extra", "throughput_mbps"),
+         "one user; policy names which strategy decided (see "
+         "docs/POLICIES.md)",
+    fields=("user", "quality", "prefetch_extra", "throughput_mbps", "policy"),
 )
 
 

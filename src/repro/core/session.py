@@ -44,6 +44,7 @@ from .grouping import (
     exhaustive_grouping,
     greedy_similarity_grouping,
     no_grouping,
+    qoe_aware_grouping,
 )
 from ..obs import trace as _trace
 from .qoe import (
@@ -71,7 +72,7 @@ class SessionConfig:
     rates: RateProvider
     cell_size: float = 0.5
     visibility: VisibilityConfig = field(default_factory=VisibilityConfig)
-    grouping: str = "none"  # "none" | "greedy" | "exhaustive"
+    grouping: str = "none"  # "none" | "greedy" | "qoe" | "exhaustive"
     adaptation: AdaptationPolicy = field(
         default_factory=lambda: FixedQualityPolicy("high")
     )
@@ -94,7 +95,7 @@ class SessionConfig:
     transport: TransportConfig = field(default_factory=TransportConfig)
 
     def __post_init__(self) -> None:
-        if self.grouping not in ("none", "greedy", "exhaustive"):
+        if self.grouping not in ("none", "greedy", "qoe", "exhaustive"):
             raise ValueError(f"unknown grouping policy {self.grouping!r}")
         if self.partitioner not in ("grid", "octree"):
             raise ValueError(f"unknown partitioner {self.partitioner!r}")
@@ -205,6 +206,11 @@ def _group_demands(
         return no_grouping(demands, frame=frame)
     if config.grouping == "greedy":
         return greedy_similarity_grouping(
+            demands, rate_fn, target_fps=config.target_fps,
+            min_iou=config.min_group_iou, frame=frame,
+        )
+    if config.grouping == "qoe":
+        return qoe_aware_grouping(
             demands, rate_fn, target_fps=config.target_fps,
             min_iou=config.min_group_iou, frame=frame,
         )
@@ -545,6 +551,11 @@ class StreamingSession:
                         quality=decision.quality,
                         prefetch_extra=decision.prefetch_extra_frames,
                         throughput_mbps=throughput,
+                        policy=getattr(
+                            config.adaptation,
+                            "policy_name",
+                            type(config.adaptation).__name__,
+                        ),
                     )
                 if decision.quality != self.quality[u]:
                     self.stats[u].quality_switches += 1

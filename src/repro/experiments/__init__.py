@@ -42,6 +42,13 @@ from .loss_sweep import (
     LossSweepResult,
     run_loss_sweep,
 )
+from .policy_comparison import (
+    DEFAULT_POLICY_LOSS_POINTS,
+    DEFAULT_POLICY_USER_COUNTS,
+    POLICY_STACKS,
+    PolicyComparisonResult,
+    run_policy_comparison,
+)
 from .scaling import SCALING_SYSTEMS, ScalingResult, run_scaling
 from .table1 import PAPER_TABLE1, Table1Result, Table1Row, run_table1
 from .venue_scale import run_venue_scale, venue_from_params
@@ -89,6 +96,11 @@ __all__ = [
     "LOSS_SWEEP_MODES",
     "LossSweepResult",
     "run_loss_sweep",
+    "DEFAULT_POLICY_LOSS_POINTS",
+    "DEFAULT_POLICY_USER_COUNTS",
+    "POLICY_STACKS",
+    "PolicyComparisonResult",
+    "run_policy_comparison",
     "SCALING_SYSTEMS",
     "ScalingResult",
     "run_scaling",

@@ -30,6 +30,7 @@ from ..core import (
     FixedQualityPolicy,
     SessionConfig,
     StreamingSession,
+    UtilityOptimalPolicy,
 )
 from ..mac import AD_MODEL, RecoveryPolicy, apply_recovery
 from ..mmwave import compute_blockage_timeline
@@ -64,7 +65,7 @@ PREDICTORS = {
 # capacity model expresses that as a multicast rate fraction below 1.0.
 _STOCK_BEAM_RATE_FRACTION = 0.75
 
-_ADAPTATIONS = ("cross-layer", "fixed-high")
+_ADAPTATIONS = ("cross-layer", "fixed-high", "utility-optimal")
 _TRANSPORT_MODES = ("ideal", "arq", "fec", "hybrid")
 
 
@@ -122,9 +123,12 @@ def run_one(spec: RunSpec) -> dict:
             horizon_s=float(spec.get("horizon_s")),
         )
 
-    adaptation_policy = (
-        CrossLayerPolicy() if adaptation == "cross-layer" else FixedQualityPolicy("high")
-    )
+    if adaptation == "cross-layer":
+        adaptation_policy: object = CrossLayerPolicy()
+    elif adaptation == "utility-optimal":
+        adaptation_policy = UtilityOptimalPolicy()
+    else:
+        adaptation_policy = FixedQualityPolicy("high")
     transport = TransportConfig(mode=transport_mode, seed=seed).with_base_per(
         float(spec.get("loss_rate"))
     )

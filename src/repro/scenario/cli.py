@@ -68,7 +68,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="distinct viewer archetypes the population draws from",
     )
     parser.add_argument(
-        "--grouping", choices=["none", "greedy"], default="greedy",
+        "--grouping", choices=["none", "greedy", "qoe"], default="greedy",
         help="multicast grouping policy",
     )
     parser.add_argument(

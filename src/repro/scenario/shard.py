@@ -423,6 +423,16 @@ class ShardEngine:
                 t_solo = unicast_frame_time(
                     [demand_of[u] for u in members]
                 )
+                if venue.grouping == "qoe":
+                    # QoE-aware admission: if plain unicast already fits
+                    # this cluster's fair share of the frame deadline, the
+                    # users cannot perceive any multicast speedup — skip
+                    # the beam complexity entirely.
+                    deadline_share = (
+                        (1.0 / venue.target_fps) * (len(members) / len(uids))
+                    )
+                    if t_solo <= deadline_share:
+                        continue
                 best = min(t_whole, t_split, t_solo)
                 if best == t_solo:
                     continue

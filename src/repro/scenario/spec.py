@@ -21,7 +21,7 @@ from ..pointcloud import QUALITIES
 __all__ = ["RoomSpec", "VenueSpec"]
 
 _WLANS = ("ac", "ad")
-_GROUPINGS = ("none", "greedy")
+_GROUPINGS = ("none", "greedy", "qoe")
 
 
 @dataclass(frozen=True)
@@ -85,7 +85,7 @@ class VenueSpec:
     archetypes: int = 8  # distinct viewer-behaviour archetypes per room
     wlan: str = "ad"  # "ac" | "ad" capacity calibration
     multicast_rate_fraction: float = 0.8
-    grouping: str = "greedy"  # "none" | "greedy"
+    grouping: str = "greedy"  # "none" | "greedy" | "qoe"
     min_group_iou: float = 0.05
     target_fps: float = 30.0
     cell_size: float = 0.5

@@ -25,6 +25,8 @@ def test_component_registry_is_sorted_and_complete():
         "fec",
         "grouping",
         "prediction",
+        "qoe_grouping",
+        "utility_adaptation",
     }
 
 

@@ -1,0 +1,68 @@
+"""The policy catalog covers every registered implementation (and no more)."""
+
+import importlib
+import inspect
+
+from repro.ablation import component_names
+from repro.core.policies import (
+    PolicyInfo,
+    adaptation_policy_catalog,
+    grouping_strategy_catalog,
+)
+from repro.runner import experiment_names
+
+ADAPTATION_MODULES = ("repro.core.adaptation", "repro.core.mpc", "repro.core.utility")
+
+
+def _discovered_policy_names() -> set:
+    names = set()
+    for module_name in ADAPTATION_MODULES:
+        module = importlib.import_module(module_name)
+        for obj in vars(module).values():
+            if (
+                inspect.isclass(obj)
+                and obj.__module__ == module_name
+                and isinstance(getattr(obj, "policy_name", None), str)
+                and callable(getattr(obj, "decide", None))
+            ):
+                names.add(obj.policy_name)
+    return names
+
+
+def test_catalog_covers_every_adaptation_policy_exactly():
+    assert {p.name for p in adaptation_policy_catalog()} == _discovered_policy_names()
+
+
+def test_catalog_covers_every_grouping_strategy_exactly():
+    grouping = importlib.import_module("repro.core.grouping")
+    exported = {
+        f"repro.core.grouping.{name}"
+        for name in grouping.__all__
+        if name.endswith("_grouping")
+    }
+    assert {p.implementation for p in grouping_strategy_catalog()} == exported
+
+
+def test_every_implementation_resolves():
+    for info in adaptation_policy_catalog() + grouping_strategy_catalog():
+        module_name, _, attr = info.implementation.rpartition(".")
+        obj = getattr(importlib.import_module(module_name), attr)
+        assert obj is not None
+
+
+def test_exercised_by_names_real_entry_points():
+    known = set(experiment_names()) | set(component_names())
+    for info in adaptation_policy_catalog() + grouping_strategy_catalog():
+        missing = set(info.exercised_by) - known
+        assert not missing, f"{info.name}: unknown entry points {missing}"
+
+
+def test_catalogs_are_sorted_unique_and_typed():
+    for catalog, kind in (
+        (adaptation_policy_catalog(), "adaptation"),
+        (grouping_strategy_catalog(), "grouping"),
+    ):
+        names = [p.name for p in catalog]
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+        assert all(isinstance(p, PolicyInfo) and p.kind == kind for p in catalog)

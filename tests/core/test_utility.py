@@ -1,0 +1,165 @@
+"""Property tests for the rate-utility allocator (repro.core.utility).
+
+The two load-bearing guarantees from the issue:
+
+* the DP allocator never exceeds the MAC budget (unless even the all-low
+  floor is infeasible, which it must report);
+* the DP weakly dominates ``CrossLayerPolicy``'s equal-share greedy fill
+  on summed utility whenever that fill is feasible.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptation import (
+    AdaptationInputs,
+    CrossLayerPolicy,
+    _best_quality_under,
+)
+from repro.core.utility import (
+    AllocationResult,
+    UserAllocationInput,
+    UtilityModel,
+    UtilityOptimalPolicy,
+    allocate_qualities,
+    allocate_qualities_dp,
+    allocate_qualities_greedy,
+    assignment_utility,
+    quality_rate_table,
+)
+from repro.pointcloud import QUALITY_ORDER
+
+users_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    ),
+    min_size=1,
+    max_size=7,
+)
+budget_strategy = st.floats(min_value=10.0, max_value=5000.0)
+
+
+def _users(specs) -> list[UserAllocationInput]:
+    return [
+        UserAllocationInput(user_id=i, visible_fraction=vf, distance_m=dist)
+        for i, (vf, dist) in enumerate(specs)
+    ]
+
+
+@given(specs=users_strategy, budget=budget_strategy)
+@settings(max_examples=60, deadline=None)
+def test_dp_never_exceeds_budget_when_feasible(specs, budget):
+    result = allocate_qualities_dp(_users(specs), budget)
+    if result.feasible:
+        assert result.total_rate_mbps <= budget + 1e-9
+    else:
+        # Infeasible means even all-low busts the budget; the floor is
+        # returned and honestly flagged.
+        assert all(q == QUALITY_ORDER[0] for _, q in result.qualities)
+
+
+@given(specs=users_strategy, budget=budget_strategy)
+@settings(max_examples=60, deadline=None)
+def test_dp_weakly_dominates_cross_layer_fill(specs, budget):
+    """The equal-share greedy fill is feasible => the exact DP beats it."""
+    users = _users(specs)
+    share = budget / len(users)
+    heuristic = {
+        u.user_id: _best_quality_under(share, u.visible_fraction) for u in users
+    }
+    heuristic_utility, heuristic_rate = assignment_utility(users, heuristic)
+    result = allocate_qualities_dp(users, budget)
+    if heuristic_rate <= budget:
+        assert result.total_utility >= heuristic_utility - 1e-9
+
+
+@given(specs=users_strategy, budget=budget_strategy)
+@settings(max_examples=60, deadline=None)
+def test_greedy_respects_budget_and_dp_dominates_it(specs, budget):
+    users = _users(specs)
+    greedy = allocate_qualities_greedy(users, budget)
+    if greedy.feasible:
+        assert greedy.total_rate_mbps <= budget + 1e-9
+    dp = allocate_qualities_dp(users, budget)
+    assert dp.total_utility >= greedy.total_utility - 1e-9
+    assert dp.feasible == greedy.feasible
+
+
+@given(specs=users_strategy, budget=budget_strategy, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_allocation_is_order_invariant(specs, budget, seed):
+    import random
+
+    users = _users(specs)
+    shuffled = list(users)
+    random.Random(seed).shuffle(shuffled)
+    a = allocate_qualities_dp(users, budget)
+    b = allocate_qualities_dp(shuffled, budget)
+    assert a == b
+
+
+def test_reported_totals_match_recomputation():
+    users = _users([(1.0, 0.0), (0.6, 2.0), (0.3, 5.0)])
+    result = allocate_qualities_dp(users, 800.0)
+    utility, rate = assignment_utility(users, result.as_dict())
+    assert abs(utility - result.total_utility) < 1e-9
+    assert abs(rate - result.total_rate_mbps) < 1e-9
+
+
+def test_dispatch_switches_method_at_dp_max_users():
+    small = _users([(1.0, 1.0)] * 4)
+    large = _users([(1.0, 1.0)] * 16)
+    assert allocate_qualities(small, 5000.0).method == "dp"
+    assert allocate_qualities(large, 50000.0).method == "greedy"
+    assert isinstance(allocate_qualities(small, 5000.0), AllocationResult)
+
+
+def test_rate_table_is_ladder_ordered_and_visibility_scaled():
+    table = quality_rate_table(0.5)
+    assert tuple(name for name, _ in table) == QUALITY_ORDER
+    rates = [rate for _, rate in table]
+    assert rates == sorted(rates)
+    full = quality_rate_table(1.0)
+    assert all(half < whole for (_, half), (_, whole) in zip(table, full))
+
+
+def test_utility_model_weight_discounts_distance_and_visibility():
+    model = UtilityModel()
+    assert model.weight(1.0, 0.0) > model.weight(0.5, 0.0)
+    assert model.weight(1.0, 0.0) > model.weight(1.0, 5.0)
+    assert model.user_utility(0.0) == 0.0
+    assert model.user_utility(200.0) > model.user_utility(100.0)
+
+
+def test_policy_mirrors_cross_layer_side_actions():
+    """Loss backoff, blockage prefetch and regroup match CrossLayerPolicy."""
+    utility = UtilityOptimalPolicy()
+    cross = CrossLayerPolicy()
+    inputs = AdaptationInputs(
+        user_id=0,
+        buffer_level_s=2.0,
+        observed_throughput_mbps=900.0,
+        current_quality="low",
+        blockage_predicted=True,
+        residual_loss_rate=0.2,
+    )
+    du = utility.decide(inputs)
+    dc = cross.decide(inputs)
+    assert du.prefetch_extra_frames == dc.prefetch_extra_frames
+    assert du.request_regroup == dc.request_regroup
+
+
+def test_policy_declines_saturated_upgrades_under_high_price():
+    """A high airtime price keeps quality low even when budget allows high."""
+    pricey = UtilityOptimalPolicy(airtime_price_per_mbps=1.0)
+    free = UtilityOptimalPolicy(airtime_price_per_mbps=0.0)
+    inputs = AdaptationInputs(
+        user_id=0,
+        buffer_level_s=2.0,
+        observed_throughput_mbps=900.0,
+        current_quality="low",
+        visible_fraction=0.4,
+    )
+    assert pricey.decide(inputs).quality == "low"
+    assert free.decide(inputs).quality == "high"

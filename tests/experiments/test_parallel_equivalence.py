@@ -42,6 +42,7 @@ EXPECTED_EXPERIMENTS = (
     "ablation_cellsize",
     "ablation_multiap",
     "ablation_session",
+    "policy_comparison",
 )
 
 # Cheap experiments re-run a third time for the explicit same-seed check.

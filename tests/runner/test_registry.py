@@ -37,6 +37,7 @@ MODULE_EXPERIMENTS = {
         "ablation_session",
         "ablation_importance",
     ),
+    "policy_comparison": ("policy_comparison",),
 }
 
 NON_EXPERIMENT_MODULES = {"__init__", "common"}

@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Generate (or verify) docs/POLICIES.md from the live policy catalog.
+
+The catalog lives in ``repro.core.policies``; this tool renders it and
+cross-checks it against the code before rendering:
+
+* every adaptation policy class exposing ``policy_name`` + ``decide`` in
+  ``repro.core`` must have a catalog entry, and vice versa;
+* every ``*_grouping`` strategy exported by ``repro.core.grouping`` must
+  have a catalog entry, and vice versa;
+* every catalog ``implementation`` path must import;
+* every ``exercised_by`` entry must name a registered runner experiment
+  or a registered ablation component.
+
+CI runs ``--check`` so the document cannot drift from the code.
+
+    PYTHONPATH=src python tools/gen_policies_doc.py          # rewrite
+    PYTHONPATH=src python tools/gen_policies_doc.py --check  # verify only
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUT = REPO_ROOT / "docs" / "POLICIES.md"
+
+# Modules whose public classes can carry a ``policy_name`` attribute.
+_ADAPTATION_MODULES = ("repro.core.adaptation", "repro.core.mpc", "repro.core.utility")
+
+HEADER = """\
+# Adaptation policies & grouping strategies
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with: PYTHONPATH=src python tools/gen_policies_doc.py
+     CI verifies it with --check. -->
+
+Every selectable decision policy in the repo, from the declarative catalog
+in `repro.core.policies` (tests and this generator verify the catalog
+covers every registered implementation).  Adaptation policies implement
+the `AdaptationPolicy` protocol (`decide(AdaptationInputs) ->
+AdaptationDecision`, queried per user per adaptation interval); grouping
+strategies partition one frame's user demands into multicast groups.
+Select adaptation policies via `SessionConfig.adaptation` (string names
+appear in trace events and the ablation engine's `adaptation` parameter);
+grouping via `SessionConfig.grouping` / the venue `--grouping` flag.  The
+`policy_comparison` experiment races the main stacks head-to-head.
+"""
+
+
+def _discovered_adaptation_names() -> set[str]:
+    """policy_name of every AdaptationPolicy-shaped class in core modules."""
+    names = set()
+    for module_name in _ADAPTATION_MODULES:
+        module = importlib.import_module(module_name)
+        for obj in vars(module).values():
+            if (
+                inspect.isclass(obj)
+                and obj.__module__ == module_name
+                and isinstance(getattr(obj, "policy_name", None), str)
+                and callable(getattr(obj, "decide", None))
+            ):
+                names.add(obj.policy_name)
+    return names
+
+
+def _discovered_grouping_impls() -> set[str]:
+    """Dotted paths of every exported ``*_grouping`` strategy function."""
+    module = importlib.import_module("repro.core.grouping")
+    return {
+        f"repro.core.grouping.{name}"
+        for name in module.__all__
+        if name.endswith("_grouping")
+    }
+
+
+def _resolve(dotted: str) -> object:
+    module_name, _, attr = dotted.rpartition(".")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def verify_catalog() -> list[str]:
+    """Cross-check the catalog against the code; return problem strings."""
+    from repro.ablation import component_names
+    from repro.core.policies import (
+        adaptation_policy_catalog,
+        grouping_strategy_catalog,
+    )
+    from repro.runner import experiment_names
+
+    problems: list[str] = []
+    catalog = adaptation_policy_catalog() + grouping_strategy_catalog()
+
+    cataloged_adaptation = {p.name for p in adaptation_policy_catalog()}
+    discovered_adaptation = _discovered_adaptation_names()
+    for missing in sorted(discovered_adaptation - cataloged_adaptation):
+        problems.append(
+            f"adaptation policy {missing!r} is registered in code but has "
+            "no catalog entry in repro.core.policies"
+        )
+    for stale in sorted(cataloged_adaptation - discovered_adaptation):
+        problems.append(
+            f"catalog lists adaptation policy {stale!r} but no class with "
+            "that policy_name exists"
+        )
+
+    cataloged_grouping = {p.implementation for p in grouping_strategy_catalog()}
+    discovered_grouping = _discovered_grouping_impls()
+    for missing in sorted(discovered_grouping - cataloged_grouping):
+        problems.append(
+            f"grouping strategy {missing} is exported but has no catalog "
+            "entry in repro.core.policies"
+        )
+    for stale in sorted(cataloged_grouping - discovered_grouping):
+        problems.append(
+            f"catalog lists grouping implementation {stale} which is not "
+            "exported by repro.core.grouping"
+        )
+
+    known_entry_points = set(experiment_names()) | set(component_names())
+    for info in catalog:
+        try:
+            _resolve(info.implementation)
+        except (ImportError, AttributeError) as exc:
+            problems.append(
+                f"{info.name}: implementation {info.implementation} does "
+                f"not import ({exc})"
+            )
+        for entry in info.exercised_by:
+            if entry not in known_entry_points:
+                problems.append(
+                    f"{info.name}: exercised_by entry {entry!r} is neither "
+                    "a registered experiment nor an ablation component"
+                )
+    return problems
+
+
+def _escape(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+def _render_table(entries) -> list[str]:
+    lines = [
+        "| name | implementation | objective | decision inputs "
+        "| complexity | when to use | exercised by |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for p in entries:
+        exercised = ", ".join(f"`{e}`" for e in p.exercised_by)
+        lines.append(
+            f"| `{p.name}` | `{p.implementation}` | {_escape(p.objective)} "
+            f"| {_escape(p.decision_inputs)} | {_escape(p.complexity)} "
+            f"| {_escape(p.when_to_use)} | {exercised} |"
+        )
+    return lines
+
+
+def render() -> str:
+    """Render the full POLICIES.md content (deterministic, newline-terminated)."""
+    from repro.core.policies import (
+        adaptation_policy_catalog,
+        grouping_strategy_catalog,
+    )
+
+    adaptation = adaptation_policy_catalog()
+    grouping = grouping_strategy_catalog()
+    lines = [HEADER]
+
+    lines.append("## Adaptation policies\n")
+    lines.append(f"{len(adaptation)} registered polic(y/ies).\n")
+    for p in adaptation:
+        lines.append(f"- **`{p.name}`** — {_escape(p.summary)}")
+    lines.append("")
+    lines.extend(_render_table(adaptation))
+
+    lines.append("\n## Grouping strategies\n")
+    lines.append(f"{len(grouping)} registered strateg(y/ies).\n")
+    for p in grouping:
+        lines.append(f"- **`{p.name}`** — {_escape(p.summary)}")
+    lines.append("")
+    lines.extend(_render_table(grouping))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Write docs/POLICIES.md, or with ``--check`` verify it is current."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the file on disk differs from the generated content",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        metavar="PATH",
+        help=f"output path (default {DEFAULT_OUT.relative_to(REPO_ROOT)})",
+    )
+    args = parser.parse_args(argv)
+
+    problems = verify_catalog()
+    if problems:
+        for problem in problems:
+            print(f"catalog error: {problem}", file=sys.stderr)
+        return 1
+
+    content = render()
+    if args.check:
+        on_disk = args.out.read_text() if args.out.exists() else None
+        if on_disk != content:
+            print(
+                f"{args.out} is stale; regenerate with "
+                "`PYTHONPATH=src python tools/gen_policies_doc.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.out} is up to date")
+        return 0
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(content)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

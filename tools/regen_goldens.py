@@ -36,7 +36,7 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "experiments" / "goldens"
 # across platforms while still failing on any real numeric drift.
 GOLDEN_EXPERIMENTS = (
     "table1", "fig2a", "fig2b", "fig3d", "loss_sweep", "venue_scale",
-    "ablation_importance",
+    "ablation_importance", "policy_comparison",
 )
 RTOL = 1e-6
 ATOL = 1e-9
