@@ -23,15 +23,28 @@ On top of the recording substrate sits the analysis tier:
 * :mod:`repro.obs.slo` — declarative SLO specs evaluated against a trace
   (CI gating via ``repro obs check``);
 * :mod:`repro.obs.bench` — the ``repro bench`` perf-trajectory harness
-  (``BENCH_<n>.json`` points plus ``--compare`` regression gating).
+  (``BENCH_<n>.json`` points plus ``--compare`` regression gating and the
+  ``--stream-rss`` streamed-vs-batch peak-RSS gate).
+
+The streaming plane makes the whole pipeline bounded-memory at venue
+scale, bit-identically to the batch path:
+
+* :mod:`repro.obs.stream` — single-pass :class:`AnalyzeAccumulator`
+  folding (exact Shewchuk sums, deterministic cross-shard merge) behind
+  ``repro trace --stream`` / ``repro obs analyze --stream``;
+* :mod:`repro.obs.diff` — ``repro obs diff``: canonical
+  ``repro.obs.diff/1`` regression reports over two runs' artifacts;
+* :mod:`repro.obs.report` — ``repro obs report``: self-contained
+  markdown/HTML run reports with a BENCH trajectory sparkline.
 
 CLI surface: ``repro trace <experiment>`` records a timeline (with
-``--layer``/``--event`` write filters), ``repro obs analyze`` /
-``repro obs check`` consume one, ``repro bench`` measures the runner,
-``repro run --metrics-out FILE`` dumps merged metrics.  Every metric,
-event, span, segment, and SLO metric is documented in
-``docs/METRICS.md``, generated (and drift-checked in CI) by
-``tools/gen_metrics_doc.py``.
+``--layer``/``--event`` write filters and ``--stream`` incremental
+flushing), ``repro obs analyze`` / ``repro obs check`` consume one,
+``repro obs diff`` / ``repro obs report`` consume the resulting
+artifacts, ``repro bench`` measures the runner, ``repro run
+--metrics-out FILE`` dumps merged metrics.  Every metric, event, span,
+segment, and SLO metric is documented in ``docs/METRICS.md``, generated
+(and drift-checked in CI) by ``tools/gen_metrics_doc.py``.
 """
 
 from .metrics import (
@@ -44,26 +57,38 @@ from .metrics import (
     write_snapshot,
 )
 from .profile import PhaseProfiler
+from .stream import (
+    AnalyzeAccumulator,
+    ExactSum,
+    LatencyHistogram,
+    stream_analyze,
+)
 from .trace import (
     CORRELATION_FIELDS,
     EVENT_TYPES,
     TraceEvent,
     TraceEventType,
+    StreamingTraceRecorder,
     TraceRecorder,
     correlation,
     event_type,
     recording,
+    streaming_recording,
 )
 
 __all__ = [
+    "AnalyzeAccumulator",
     "CORRELATION_FIELDS",
     "Counter",
     "EVENT_TYPES",
+    "ExactSum",
     "Gauge",
     "Histogram",
+    "LatencyHistogram",
     "MetricsRegistry",
     "PhaseProfiler",
     "REGISTRY",
+    "StreamingTraceRecorder",
     "TraceEvent",
     "TraceEventType",
     "TraceRecorder",
@@ -71,5 +96,7 @@ __all__ = [
     "event_type",
     "merge_snapshots",
     "recording",
+    "stream_analyze",
+    "streaming_recording",
     "write_snapshot",
 ]

@@ -17,6 +17,10 @@ fields (never from timestamp subtraction across taps):
   short: airtime that delivered nothing;
 * ``beam_switch`` (mac) — beam-switch overheads paid before transmission
   units;
+* ``capture_wait`` (core) / ``fanout`` (net) — live-conferencing
+  placeholders (capture-to-uplink wait, N×N replication airtime);
+  declared so the ROADMAP's ReVo-style live scenario lands with blame
+  decomposition in place, zero-width in every current trace;
 * ``unattributed`` (net) — the residual between the frame's recorded
   latency and the sum of the segments above (floating-point drift and
   any untraced gap), kept explicit so per-frame totals sum *exactly* to
@@ -35,13 +39,15 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable, Mapping
 
-from .spans import FrameSpans, Reconstruction, reconstruct
+from .spans import FrameSpans
 
 __all__ = [
     "AttributionSegment",
     "SEGMENTS",
     "SEGMENT_ORDER",
     "attribute_frame",
+    "fold_event_into_segments",
+    "close_attribution",
     "analyze",
     "format_report",
 ]
@@ -99,6 +105,16 @@ SEG_BEAM_SWITCH = _segment(
     "beam_switch", "mac",
     "beam-switch overheads paid before transmission units",
 )
+SEG_CAPTURE_WAIT = _segment(
+    "capture_wait", "core",
+    "live conferencing only: time a captured frame waited at the sender "
+    "before its uplink began (zero-width placeholder in current traces)",
+)
+SEG_FANOUT = _segment(
+    "fanout", "net",
+    "live conferencing only: airtime replicating a captured frame toward "
+    "its remote viewers (zero-width placeholder in current traces)",
+)
 SEG_UNATTRIBUTED = _segment(
     "unattributed", "net",
     "residual between the frame's recorded latency and the summed segments "
@@ -108,6 +124,62 @@ SEG_UNATTRIBUTED = _segment(
 SEGMENT_ORDER: tuple[str, ...] = tuple(SEGMENTS)
 
 _PROBLEM_STATUSES = ("late", "lost")
+
+
+def fold_event_into_segments(
+    seg: dict[str, float], ev: Mapping[str, Any]
+) -> bool:
+    """Fold one event's reported durations into a per-frame segment dict.
+
+    Returns whether the event carried a latency breakdown at all — the
+    streaming accumulator and :func:`attribute_frame` share this single
+    set of fold rules so the two paths cannot drift.
+    """
+    name = ev.get("event")
+    if name == "net.arq_round":
+        data_s = float(ev.get("data_s", 0.0))
+        if int(ev.get("round", 1)) <= 1:
+            seg[SEG_FIRST_TX.name] += data_s
+        else:
+            seg[SEG_ARQ_RETX.name] += data_s
+        seg[SEG_ARQ_FEEDBACK.name] += float(ev.get("overhead_s", 0.0))
+        return True
+    if name == "net.arq_deadline":
+        seg[SEG_DEADLINE_WASTE.name] += float(ev.get("wasted_s", 0.0))
+        return True
+    if name == "net.fec_tx":
+        seg[SEG_FIRST_TX.name] += float(ev.get("source_s", 0.0))
+        seg[SEG_FEC_REPAIR.name] += float(ev.get("repair_s", 0.0))
+        return True
+    if name == "net.beam_switch":
+        seg[SEG_BEAM_SWITCH.name] += float(ev.get("overhead_s", 0.0))
+        return True
+    if name == "core.capture_wait":
+        seg[SEG_CAPTURE_WAIT.name] += float(ev.get("wait_s", 0.0))
+        return True
+    if name == "net.fanout":
+        seg[SEG_FANOUT.name] += float(ev.get("airtime_s", 0.0))
+        return True
+    return False
+
+
+def close_attribution(
+    seg: dict[str, float], airtime: float, saw_breakdown: bool
+) -> None:
+    """Make the segment dict sum *exactly* to the frame's latency.
+
+    Without any breakdown events the whole latency is one uninterrupted
+    first transmission (ideal/fluid delivery); then the residual is pushed
+    into ``unattributed`` until the ``fsum`` over all segments equals the
+    recorded latency bit-for-bit.
+    """
+    if not saw_breakdown:
+        seg[SEG_FIRST_TX.name] = airtime
+    for _ in range(8):
+        diff = airtime - math.fsum(seg.values())
+        if diff == 0.0:
+            break
+        seg[SEG_UNATTRIBUTED.name] += diff
 
 
 def attribute_frame(fs: FrameSpans) -> dict[str, float]:
@@ -121,70 +193,9 @@ def attribute_frame(fs: FrameSpans) -> dict[str, float]:
     seg = {name: 0.0 for name in SEGMENT_ORDER}
     saw_breakdown = False
     for ev in fs.events:
-        name = ev.get("event")
-        if name == "net.arq_round":
-            saw_breakdown = True
-            data_s = float(ev.get("data_s", 0.0))
-            if int(ev.get("round", 1)) <= 1:
-                seg[SEG_FIRST_TX.name] += data_s
-            else:
-                seg[SEG_ARQ_RETX.name] += data_s
-            seg[SEG_ARQ_FEEDBACK.name] += float(ev.get("overhead_s", 0.0))
-        elif name == "net.arq_deadline":
-            saw_breakdown = True
-            seg[SEG_DEADLINE_WASTE.name] += float(ev.get("wasted_s", 0.0))
-        elif name == "net.fec_tx":
-            saw_breakdown = True
-            seg[SEG_FIRST_TX.name] += float(ev.get("source_s", 0.0))
-            seg[SEG_FEC_REPAIR.name] += float(ev.get("repair_s", 0.0))
-        elif name == "net.beam_switch":
-            saw_breakdown = True
-            seg[SEG_BEAM_SWITCH.name] += float(ev.get("overhead_s", 0.0))
-    airtime = fs.airtime_s
-    if not saw_breakdown:
-        # Ideal (fluid) delivery emits only the outcome event: the whole
-        # latency is one uninterrupted first transmission.
-        seg[SEG_FIRST_TX.name] = airtime
-    # Close the books exactly: push the residual into `unattributed` until
-    # the fsum over all segments equals the recorded latency bit-for-bit.
-    for _ in range(8):
-        diff = airtime - math.fsum(seg.values())
-        if diff == 0.0:
-            break
-        seg[SEG_UNATTRIBUTED.name] += diff
+        saw_breakdown |= fold_event_into_segments(seg, ev)
+    close_attribution(seg, fs.airtime_s, saw_breakdown)
     return seg
-
-
-def _fold(totals: dict[str, float], seg: Mapping[str, float]) -> None:
-    for name, seconds in seg.items():
-        totals[name] = totals.get(name, 0.0) + seconds
-
-
-def _blame_entry(
-    frames: list[tuple[FrameSpans, dict[str, float]]]
-) -> dict[str, Any]:
-    """Aggregate per-frame attributions into one blame-table row."""
-    totals = {name: 0.0 for name in SEGMENT_ORDER}
-    for _, seg in frames:
-        _fold(totals, seg)
-    airtime = math.fsum(fs.airtime_s for fs, _ in frames)
-    segments = {}
-    for name in SEGMENT_ORDER:
-        seconds = totals[name]
-        segments[name] = {
-            "seconds": seconds,
-            "share": (seconds / airtime) if airtime > 0 else 0.0,
-        }
-    by_layer: dict[str, float] = {}
-    for name in SEGMENT_ORDER:
-        layer = SEGMENTS[name].layer
-        by_layer[layer] = by_layer.get(layer, 0.0) + totals[name]
-    return {
-        "frames": len(frames),
-        "airtime_s": airtime,
-        "segments": segments,
-        "by_layer": {layer: by_layer[layer] for layer in sorted(by_layer)},
-    }
 
 
 def analyze(
@@ -192,84 +203,21 @@ def analyze(
 ) -> dict[str, Any]:
     """Full attribution report over a flat trace event list.
 
-    Reconstructs spans, attributes every closed frame attempt, and folds
-    the result into blame tables for all frames, late frames, lost frames,
-    and the late+lost union (``problem``), plus the ``top`` worst frames
-    by delivery latency.  Deterministic: the report is a pure function of
+    Folds every event (in ``seq`` order) through the single-pass
+    :class:`repro.obs.stream.AnalyzeAccumulator` — the same machinery the
+    bounded-memory streaming path and the cross-shard merge use, so batch
+    and streamed reports are bit-identical *by construction* — and
+    finalizes blame tables for all frames, late frames, lost frames, and
+    the late+lost union (``problem``), plus the ``top`` worst frames by
+    delivery latency.  Deterministic: the report is a pure function of
     the event list.
     """
-    recon: Reconstruction = reconstruct(events)
-    attributed = [(fs, attribute_frame(fs)) for fs in recon.closed_frames()]
+    from .stream import AnalyzeAccumulator
 
-    by_status: dict[str, list[tuple[FrameSpans, dict[str, float]]]] = {
-        "on_time": [], "late": [], "lost": [],
-    }
-    for fs, seg in attributed:
-        by_status[fs.status].append((fs, seg))
-    problem = by_status["late"] + by_status["lost"]
-
-    worst = sorted(
-        attributed,
-        key=lambda pair: (-pair[0].airtime_s, pair[0].key()),
-    )[: max(0, top)]
-
-    num_events = 0
-    for fs in recon.frames:
-        num_events += len(fs.events)
-    num_events += len(recon.unframed)
-
-    # Venue runs tag every frame with the shard's room/AP context; fold a
-    # per-shard blame table so latency attributes to the room that paid it.
-    shards: dict[tuple[str, str], list[tuple[FrameSpans, dict[str, float]]]]
-    shards = {}
-    for fs, seg in attributed:
-        if fs.room is None and fs.ap is None:
-            continue
-        shards.setdefault((fs.room or "", fs.ap or ""), []).append((fs, seg))
-    by_shard = [
-        {
-            "room": room,
-            "ap": ap,
-            "late": sum(1 for fs, _ in shards[(room, ap)] if fs.status == "late"),
-            "lost": sum(1 for fs, _ in shards[(room, ap)] if fs.status == "lost"),
-            **_blame_entry(shards[(room, ap)]),
-        }
-        for room, ap in sorted(shards)
-    ]
-
-    return {
-        "schema": "repro.obs.analyze/1",
-        "num_events": num_events,
-        "units": recon.units,
-        "frames": {
-            "total": len(recon.frames),
-            "closed": len(attributed),
-            "incomplete": len(recon.frames) - len(attributed),
-            "on_time": len(by_status["on_time"]),
-            "late": len(by_status["late"]),
-            "lost": len(by_status["lost"]),
-        },
-        "blame": {
-            "all": _blame_entry(attributed),
-            "late": _blame_entry(by_status["late"]),
-            "lost": _blame_entry(by_status["lost"]),
-            "problem": _blame_entry(problem),
-        },
-        "by_shard": by_shard,
-        "worst_frames": [
-            {
-                "unit": fs.unit,
-                "frame": fs.frame,
-                "occurrence": fs.occurrence,
-                "status": fs.status,
-                "airtime_s": fs.airtime_s,
-                "deadline_s": fs.deadline_s,
-                "lost_users": list(fs.lost_users),
-                "segments": {name: seg[name] for name in SEGMENT_ORDER},
-            }
-            for fs, seg in worst
-        ],
-    }
+    acc = AnalyzeAccumulator(top=top)
+    for ev in sorted(events, key=lambda ev: int(ev.get("seq", 0))):
+        acc.add_event(ev)
+    return acc.finalize()
 
 
 def format_report(report: Mapping[str, Any]) -> str:
@@ -338,6 +286,35 @@ def format_report(report: Mapping[str, Any]) -> str:
                 ["room", "ap", "frames", "late", "lost", "ms", "top segment"],
                 rows,
             )
+        )
+    admission = report.get("admission") or []
+    if admission:
+        lines.append("admission by room:")
+        rows = [
+            [
+                row["room"],
+                row["ap"],
+                row["arrivals"],
+                row["rejected"],
+                row["departures"],
+                row["peak_occupancy"],
+                row["capacity"] if row["capacity"] is not None else "-",
+            ]
+            for row in admission
+        ]
+        lines.append(
+            format_table(
+                ["room", "ap", "arrivals", "rejected", "departures",
+                 "peak", "capacity"],
+                rows,
+            )
+        )
+    hist = report.get("latency_hist")
+    if hist and hist["count"]:
+        mean_ms = hist["sum"] / hist["count"] * 1e3
+        lines.append(
+            f"frame latency: {hist['count']} sample(s), "
+            f"mean {mean_ms:.2f} ms"
         )
     if report["worst_frames"]:
         lines.append("worst frames by delivery latency:")

@@ -47,6 +47,7 @@ __all__ = [
     "KERNEL_MIN_SPEEDUP",
     "run_bench",
     "run_kernel_bench",
+    "run_stream_rss_bench",
     "next_bench_path",
     "write_bench",
     "validate_bench",
@@ -151,6 +152,80 @@ def run_bench(
         doc["peak_rss_bytes"] = peak
     validate_bench(doc)
     return doc
+
+
+_RSS_CHILD_CODE = """\
+import resource
+import sys
+
+from repro.obs.cli import main
+
+rc = main(sys.argv[1:])
+peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+peak = int(peak) if sys.platform == "darwin" else int(peak) * 1024
+print("PEAK_RSS_BYTES=%d" % peak)
+sys.exit(rc)
+"""
+
+
+def run_stream_rss_bench(
+    experiment: str = "venue_scale", scale: str = "small"
+) -> dict[str, Any]:
+    """Peak RSS of a streamed vs. batch trace of one experiment.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so the two
+    measurements need separate address spaces: each mode runs ``repro
+    trace`` in a child interpreter that reports its own peak before
+    exiting.  The streamed child flushes events incrementally (the
+    bounded-memory recorder) while the batch child retains the whole
+    timeline — the delta between the two is exactly what the streaming
+    tier buys, and the ``--stream-rss`` gate holds the streamed peak at
+    or below the batch peak (within ``--tolerance``).
+    """
+    import os
+    import subprocess
+    import tempfile
+
+    import repro
+
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+
+    def _measure(stream: bool) -> int:
+        with tempfile.TemporaryDirectory() as tmp:
+            argv = [
+                sys.executable, "-c", _RSS_CHILD_CODE,
+                experiment, "--scale", scale, "--quiet",
+                "--out", str(Path(tmp) / "trace.jsonl"),
+            ]
+            if stream:
+                argv.append("--stream")
+            proc = subprocess.run(
+                argv, env=env, capture_output=True, text=True
+            )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"rss child failed ({proc.returncode}): "
+                f"{proc.stderr.strip()[-500:]}"
+            )
+        for line in reversed(proc.stdout.splitlines()):
+            if line.startswith("PEAK_RSS_BYTES="):
+                return int(line.partition("=")[2])
+        raise RuntimeError("rss child printed no PEAK_RSS_BYTES line")
+
+    batch = _measure(stream=False)
+    streamed = _measure(stream=True)
+    return {
+        "experiment": experiment,
+        "scale": scale,
+        "batch_rss_bytes": batch,
+        "streamed_rss_bytes": streamed,
+        "ratio": round(streamed / batch, 4) if batch > 0 else None,
+    }
 
 
 def run_kernel_bench(num_users: int = 1000) -> list[dict[str, Any]]:
@@ -343,6 +418,21 @@ def validate_bench(doc: Mapping[str, Any]) -> None:
         floor = entry.get("min_speedup")
         if isinstance(floor, (int, float)) and floor <= 0:
             problems.append(f"kernels[{i}].min_speedup must be positive")
+    stream_rss = doc.get("stream_rss")
+    if stream_rss is not None:
+        if not isinstance(stream_rss, Mapping):
+            problems.append("'stream_rss' must be an object when present")
+        else:
+            for key in (
+                "experiment", "scale", "batch_rss_bytes",
+                "streamed_rss_bytes",
+            ):
+                if key not in stream_rss:
+                    problems.append(f"stream_rss missing key {key!r}")
+            for key in ("batch_rss_bytes", "streamed_rss_bytes"):
+                rss = stream_rss.get(key)
+                if isinstance(rss, (int, float)) and rss <= 0:
+                    problems.append(f"stream_rss.{key} must be positive")
     if problems:
         raise ValueError("invalid bench document: " + "; ".join(problems))
 
@@ -440,6 +530,17 @@ def build_parser() -> argparse.ArgumentParser:
              "references; with no experiments named, bench kernels only",
     )
     parser.add_argument(
+        "--stream-rss",
+        nargs="?",
+        const="venue_scale",
+        default=None,
+        metavar="EXPERIMENT",
+        help="also measure streamed-vs-batch trace peak RSS for this "
+             "experiment (default: venue_scale) in child processes; exit 1 "
+             "if the streamed peak exceeds the batch peak beyond "
+             "--tolerance; with no experiments named, measure RSS only",
+    )
+    parser.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE",
@@ -461,8 +562,8 @@ def main(argv: list[str] | None = None) -> int:
     from ..runner.registry import experiment_names
 
     args = build_parser().parse_args(argv)
-    if args.kernels and not args.experiments:
-        names = []  # kernels-only point
+    if (args.kernels or args.stream_rss) and not args.experiments:
+        names = []  # kernels-only / rss-only point
     else:
         names = args.experiments or experiment_names()
     try:
@@ -482,6 +583,18 @@ def main(argv: list[str] | None = None) -> int:
             + sum(k["scalar_wall_s"] + k["vectorized_wall_s"] for k in kernels),
             6,
         )
+    rss_regressed = False
+    if args.stream_rss:
+        try:
+            stream_rss = run_stream_rss_bench(
+                args.stream_rss, scale=args.scale
+            )
+        except (KeyError, RuntimeError) as err:
+            raise SystemExit(str(err)) from None
+        doc["stream_rss"] = stream_rss
+        rss_regressed = stream_rss["streamed_rss_bytes"] > (
+            stream_rss["batch_rss_bytes"] * (1.0 + args.tolerance)
+        )
     path = write_bench(doc, args.out_dir)
     for entry in doc["experiments"]:
         print(
@@ -495,7 +608,22 @@ def main(argv: list[str] | None = None) -> int:
             f"vectorized {entry['vectorized_wall_s']:.3f}s -> "
             f"{entry['speedup']:.1f}x (floor {entry['min_speedup']:.1f}x)"
         )
+    if "stream_rss" in doc:
+        rss = doc["stream_rss"]
+        mib = 1024 * 1024
+        print(
+            f"stream rss ({rss['experiment']}, {rss['scale']}): batch "
+            f"{rss['batch_rss_bytes'] / mib:.1f} MiB, streamed "
+            f"{rss['streamed_rss_bytes'] / mib:.1f} MiB "
+            f"(ratio {rss['ratio']})"
+        )
     print(f"bench point written to {path}")
+    if rss_regressed:
+        print(
+            "RSS REGRESSION: streamed trace peak exceeds the batch peak "
+            f"beyond tolerance {args.tolerance}"
+        )
+        return 1
     if args.compare:
         try:
             baseline = json.loads(

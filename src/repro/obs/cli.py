@@ -35,7 +35,7 @@ import sys
 from pathlib import Path
 
 from . import metrics
-from .trace import recording
+from .trace import recording, streaming_recording
 
 __all__ = ["main", "obs_main"]
 
@@ -95,6 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="only write events of this type (repeatable; "
              "e.g. net.arq_round)",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="flush events to the output file incrementally instead of "
+             "retaining the whole timeline in memory (byte-identical "
+             "output; --layer/--event apply at record time)",
+    )
     return parser
 
 
@@ -112,11 +119,18 @@ def main(argv: list[str] | None = None) -> int:
     specs = list(experiment.decompose(params))
     out_path = Path(args.out or f"{experiment.name}-trace.jsonl")
 
+    recording_ctx = (
+        streaming_recording(
+            out_path, layers=args.layer, events=args.event
+        )
+        if args.stream
+        else recording()
+    )
     was_enabled = metrics.REGISTRY.enabled
     metrics.reset()
     metrics.enable()
     try:
-        with recording() as recorder:
+        with recording_ctx as recorder:
             runs = []
             for spec in specs:
                 recorder.clear_context()
@@ -135,17 +149,20 @@ def main(argv: list[str] | None = None) -> int:
         print(experiment.format_result(merged))
         print()
 
-    recorded = len(recorder)
-    if args.layer or args.event:
-        layers = set(args.layer or ())
-        names = set(args.event or ())
-        recorder.events = [
-            ev
-            for ev in recorder.events
-            if (not layers or ev.layer in layers)
-            and (not names or ev.event in names)
-        ]
-    recorder.write_jsonl(out_path)
+    if args.stream:
+        recorded = recorder.recorded
+    else:
+        recorded = len(recorder)
+        if args.layer or args.event:
+            layers = set(args.layer or ())
+            names = set(args.event or ())
+            recorder.events = [
+                ev
+                for ev in recorder.events
+                if (not layers or ev.layer in layers)
+                and (not names or ev.event in names)
+            ]
+        recorder.write_jsonl(out_path)
     per_layer = ", ".join(
         f"{layer} {count}" for layer, count in recorder.layer_counts().items()
     )
@@ -204,6 +221,12 @@ def build_obs_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the human-readable report (JSON output only)",
     )
+    analyze_p.add_argument(
+        "--stream",
+        action="store_true",
+        help="fold the trace in a single bounded-memory pass instead of "
+             "loading it whole (bit-identical report)",
+    )
 
     check_p = sub.add_parser(
         "check",
@@ -228,7 +251,157 @@ def build_obs_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the per-SLO results as JSON",
     )
+
+    diff_p = sub.add_parser(
+        "diff",
+        help="regression-diff the artifacts of two runs",
+        description=(
+            "Compare two runs' canonical observability artifacts (analyze "
+            "reports, plus optional metrics / SLO / bench docs) and emit a "
+            "canonical repro.obs.diff/1 regression report."
+        ),
+    )
+    diff_p.add_argument(
+        "run_a", metavar="ANALYZE_A", help="run A's analyze report JSON"
+    )
+    diff_p.add_argument(
+        "run_b", metavar="ANALYZE_B", help="run B's analyze report JSON"
+    )
+    for side in ("a", "b"):
+        diff_p.add_argument(
+            f"--metrics-{side}", default=None, metavar="PATH",
+            help=f"run {side.upper()}'s metrics snapshot JSON",
+        )
+        diff_p.add_argument(
+            f"--slo-{side}", default=None, metavar="PATH",
+            help=f"run {side.upper()}'s SLO results JSON (repro.obs.slo/1)",
+        )
+        diff_p.add_argument(
+            f"--bench-{side}", default=None, metavar="PATH",
+            help=f"run {side.upper()}'s BENCH_<n>.json (repro.bench/1)",
+        )
+    diff_p.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="FRACTION",
+        help="relative slack for continuous regressions (wall time, "
+             "airtime, RSS); counts regress on any increase (default: 0)",
+    )
+    diff_p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the canonical diff document as JSON",
+    )
+    diff_p.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero when the diff lists any regression",
+    )
+    diff_p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the human-readable diff (JSON output only)",
+    )
+
+    report_p = sub.add_parser(
+        "report",
+        help="render a self-contained markdown/HTML run report",
+        description=(
+            "Render one run's observability artifacts (analyze report, "
+            "optional SLO results and BENCH_<n>.json trajectory) as a "
+            "self-contained markdown or HTML document."
+        ),
+    )
+    report_p.add_argument(
+        "analyze", metavar="ANALYZE", help="the run's analyze report JSON"
+    )
+    report_p.add_argument(
+        "--slo", default=None, metavar="PATH",
+        help="the run's SLO results JSON (repro.obs.slo/1)",
+    )
+    report_p.add_argument(
+        "--bench-dir", default=None, metavar="DIR",
+        help="directory of BENCH_<n>.json trajectory points to sparkline",
+    )
+    report_p.add_argument(
+        "--title", default="repro run report", help="document title"
+    )
+    report_p.add_argument(
+        "--format", choices=["md", "html"], default="html",
+        help="output format (default: html)",
+    )
+    report_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output path (default: obs_report.<format>)",
+    )
     return parser
+
+
+def _write_canonical(path_arg: str, doc: dict) -> Path:
+    path = Path(path_arg)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def _diff_main(args: argparse.Namespace) -> int:
+    from .diff import build_diff, format_diff, load_json_artifact
+
+    def _load(path, expect):
+        if path is None:
+            return None
+        try:
+            return load_json_artifact(path, expect)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read artifact: {exc}") from None
+
+    report = build_diff(
+        _load(args.run_a, "repro.obs.analyze"),
+        _load(args.run_b, "repro.obs.analyze"),
+        metrics_a=_load(args.metrics_a, None),
+        metrics_b=_load(args.metrics_b, None),
+        slo_a=_load(args.slo_a, "repro.obs.slo"),
+        slo_b=_load(args.slo_b, "repro.obs.slo"),
+        bench_a=_load(args.bench_a, "repro.bench"),
+        bench_b=_load(args.bench_b, "repro.bench"),
+        tolerance=args.tolerance,
+        label_a=args.run_a,
+        label_b=args.run_b,
+    )
+    if not args.quiet:
+        print(format_diff(report))
+    if args.json:
+        print(f"diff written to {_write_canonical(args.json, report)}")
+    if args.fail_on_regression and report["regressions"]:
+        return 1
+    return 0
+
+
+def _report_main(args: argparse.Namespace) -> int:
+    from .diff import load_json_artifact
+    from .report import load_bench_trajectory, render_html, render_markdown
+
+    try:
+        analyze_doc = load_json_artifact(args.analyze, "repro.obs.analyze")
+        slo_doc = (
+            load_json_artifact(args.slo, "repro.obs.slo")
+            if args.slo else None
+        )
+        trajectory = (
+            load_bench_trajectory(args.bench_dir) if args.bench_dir else ()
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read artifact: {exc}") from None
+
+    render = render_html if args.format == "html" else render_markdown
+    text = render(
+        analyze_doc, slo=slo_doc, trajectory=trajectory, title=args.title
+    )
+    out = Path(args.out or f"obs_report.{args.format}")
+    if out.parent != Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text, encoding="utf-8")
+    print(f"report written to {out}")
+    return 0
 
 
 def obs_main(argv: list[str] | None = None) -> int:
@@ -238,28 +411,34 @@ def obs_main(argv: list[str] | None = None) -> int:
     from .spans import load_events, reconstruct
 
     args = build_obs_parser().parse_args(argv)
+    if args.command == "diff":
+        return _diff_main(args)
+    if args.command == "report":
+        return _report_main(args)
+
+    if args.command == "analyze":
+        try:
+            if args.stream:
+                from .stream import stream_analyze
+
+                report = stream_analyze(args.trace, top=args.top)
+            else:
+                report = analyze(load_events(args.trace), top=args.top)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"cannot read trace {args.trace}: {exc}"
+            ) from None
+        if not args.quiet:
+            print(format_report(report))
+        if args.json:
+            print(f"report written to {_write_canonical(args.json, report)}")
+        return 0
+
+    # args.command == "check"
     try:
         events = load_events(args.trace)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"cannot read trace {args.trace}: {exc}") from None
-
-    if args.command == "analyze":
-        report = analyze(events, top=args.top)
-        if not args.quiet:
-            print(format_report(report))
-        if args.json:
-            path = Path(args.json)
-            if path.parent != Path(""):
-                path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(
-                json.dumps(report, sort_keys=True, separators=(",", ":"))
-                + "\n",
-                encoding="utf-8",
-            )
-            print(f"report written to {path}")
-        return 0
-
-    # args.command == "check"
     try:
         entries = load_spec(args.spec)
     except (OSError, ValueError) as exc:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 __all__ = [
     "Span",
@@ -38,6 +38,7 @@ __all__ = [
     "span_type",
     "FrameSpans",
     "Reconstruction",
+    "iter_events",
     "load_events",
     "reconstruct",
 ]
@@ -108,6 +109,23 @@ SPAN_FRAME_LIFETIME = span_type(
     "core.frame_lifetime", layer="core",
     help="closed loop only: from the end of a frame's delivery to the "
          "moment one user's client buffer played it out",
+)
+# Live-conferencing placeholders (ROADMAP: ReVo-style bidirectional live
+# volumetric video).  Declared now so the blame decomposition — capture
+# wait, uplink, fan-out, downlink — is already in the catalog when the
+# live session mode lands; zero-width in every current trace because no
+# tap emits the events yet.
+SPAN_CAPTURE_WAIT = span_type(
+    "core.capture_wait", layer="core",
+    help="live conferencing only: time a freshly captured frame waited "
+         "at the sender before its uplink transmission began "
+         "(zero-width placeholder in current traces)",
+)
+SPAN_FANOUT = span_type(
+    "net.fanout", layer="net",
+    help="live conferencing only: airtime spent replicating one captured "
+         "frame toward its N-1 remote viewers beyond the first copy "
+         "(zero-width placeholder in current traces)",
 )
 
 
@@ -230,22 +248,43 @@ class Reconstruction:
         return [fs for fs in self.frames if fs.closed]
 
 
+def iter_events(path: Path | str) -> Iterator[dict[str, Any]]:
+    """Stream a ``repro trace`` JSONL file one event dict at a time.
+
+    Unlike :func:`load_events` this never holds the file in memory — it is
+    the loader the bounded-memory pipeline (:mod:`repro.obs.stream`) folds
+    from.  Errors are diagnosed, not raised raw: an unparsable line
+    reports its ``path:lineno``, and a final line that is cut off
+    mid-record (no trailing newline — the classic partial write of an
+    interrupted run) is called out as truncated rather than surfacing a
+    JSON stack trace.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lineno = 0
+        for raw in fh:
+            lineno += 1
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                if not raw.endswith("\n"):
+                    raise ValueError(
+                        f"{path}:{lineno}: truncated trace record (partial "
+                        f"write?): {line[:60]!r}"
+                    ) from exc
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(event, dict):
+                raise ValueError(f"{path}:{lineno}: expected a JSON object")
+            yield event
+
+
 def load_events(path: Path | str) -> list[dict[str, Any]]:
     """Parse a ``repro trace`` JSONL file into event dicts."""
-    events: list[dict[str, Any]] = []
-    text = Path(path).read_text(encoding="utf-8")
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            event = json.loads(line)
-        except ValueError as exc:
-            raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
-        if not isinstance(event, dict):
-            raise ValueError(f"{path}:{lineno}: expected a JSON object")
-        events.append(event)
-    return events
+    return list(iter_events(path))
 
 
 def _span_from_event(ev: Mapping[str, Any]) -> Span | None:
@@ -315,6 +354,19 @@ def _span_from_event(ev: Mapping[str, Any]) -> Span | None:
         dur = float(ev.get("overhead_s", 0.0))
         return Span(
             type=SPAN_BEAM_SWITCH.name, start_t=t - dur, end_t=t, frame=frame_i
+        )
+    if name == "core.capture_wait":
+        dur = float(ev.get("wait_s", 0.0))
+        return Span(
+            type=SPAN_CAPTURE_WAIT.name, start_t=t - dur, end_t=t,
+            frame=frame_i, users=users_t,
+        )
+    if name == "net.fanout":
+        dur = float(ev.get("airtime_s", 0.0))
+        return Span(
+            type=SPAN_FANOUT.name, start_t=t - dur, end_t=t,
+            frame=frame_i, users=users_t,
+            attrs={"copies": ev.get("copies")},
         )
     if name == "net.frame_outcome":
         dur = float(ev.get("airtime_s", 0.0))

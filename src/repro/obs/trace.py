@@ -37,12 +37,13 @@ import contextlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 __all__ = [
     "TraceEvent",
     "TraceEventType",
     "TraceRecorder",
+    "StreamingTraceRecorder",
     "EVENT_TYPES",
     "CORRELATION_FIELDS",
     "correlation",
@@ -51,6 +52,7 @@ __all__ = [
     "uninstall",
     "active",
     "recording",
+    "streaming_recording",
 ]
 
 # The cross-layer join keys: every tap that knows one of these attaches it,
@@ -233,6 +235,109 @@ class TraceRecorder:
         return path
 
 
+class StreamingTraceRecorder(TraceRecorder):
+    """A recorder that flushes JSONL to disk instead of retaining events.
+
+    The batch :class:`TraceRecorder` holds every event until
+    :meth:`~TraceRecorder.write_jsonl`; at venue scale that buffer *is*
+    the peak-RSS story.  This variant serializes each event the moment it
+    is recorded, buffers only ``flush_every`` pending lines, and keeps
+    per-layer counts incrementally — the file it produces is byte-
+    identical to the batch recorder's for the same workload and filters
+    (``tests/obs/test_trace.py`` asserts it).
+
+    ``layers``/``events`` apply the trace CLI's write filters at record
+    time (recording everything and filtering post-hoc would defeat the
+    bounded memory); ``len()`` counts *written* events and ``recorded``
+    counts everything emitted, mirroring the batch CLI's summary line.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        layers: Iterable[str] | None = None,
+        events: Iterable[str] | None = None,
+        flush_every: int = 4096,
+    ) -> None:
+        super().__init__()
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._layers = frozenset(layers) if layers else None
+        self._names = frozenset(events) if events else None
+        self._flush_every = max(1, int(flush_every))
+        self._fh = open(self.path, "w", encoding="utf-8", newline="")
+        self._pending: list[str] = []
+        self._written = 0
+        self.recorded = 0
+        self._counts: dict[str, int] = {}
+
+    def record(
+        self,
+        kind: TraceEventType,
+        t: float | None,
+        fields: Mapping[str, Any],
+    ) -> None:
+        """Serialize one event straight to the flush buffer."""
+        seq = self._seq
+        self._seq += 1
+        self.recorded += 1
+        if self._layers is not None and kind.layer not in self._layers:
+            return
+        if self._names is not None and kind.name not in self._names:
+            return
+        merged = {**self.context, **fields} if self.context else dict(fields)
+        ev = TraceEvent(
+            t=self.now if t is None else float(t),
+            seq=seq,
+            layer=kind.layer,
+            event=kind.name,
+            fields=merged,
+        )
+        self._pending.append(
+            json.dumps(ev.to_jsonable(), sort_keys=False, separators=(",", ":"))
+        )
+        self._counts[kind.layer] = self._counts.get(kind.layer, 0) + 1
+        self._written += 1
+        if len(self._pending) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the pending lines out (newline-terminated, batch shape)."""
+        if self._pending:
+            self._fh.write("\n".join(self._pending) + "\n")
+            self._pending.clear()
+            # Push through the interpreter's buffer so the on-disk file is
+            # a valid (possibly shorter) trace at every flush boundary.
+            self._fh.flush()
+
+    def close(self) -> Path:
+        """Flush the tail and close the file; returns the path."""
+        self.flush()
+        if not self._fh.closed:
+            self._fh.close()
+        return self.path
+
+    def __len__(self) -> int:
+        return self._written
+
+    def layer_counts(self) -> dict[str, int]:
+        """Written events per layer, keyed by sorted layer name."""
+        return {layer: self._counts[layer] for layer in sorted(self._counts)}
+
+    def jsonl_lines(self) -> Iterator[str]:
+        raise TypeError(
+            "StreamingTraceRecorder does not retain events; read them back "
+            f"from {self.path}"
+        )
+
+    def write_jsonl(self, path: Path | str) -> Path:
+        raise TypeError(
+            "StreamingTraceRecorder already streamed its events to "
+            f"{self.path}; call close() instead"
+        )
+
+
 _RECORDER: TraceRecorder | None = None
 
 
@@ -264,3 +369,22 @@ def recording() -> Iterator[TraceRecorder]:
         yield recorder
     finally:
         uninstall()
+
+
+@contextlib.contextmanager
+def streaming_recording(
+    path: Path | str,
+    layers: Iterable[str] | None = None,
+    events: Iterable[str] | None = None,
+    flush_every: int = 4096,
+) -> Iterator[StreamingTraceRecorder]:
+    """Context manager: stream events to ``path``, close on the way out."""
+    recorder = StreamingTraceRecorder(
+        path, layers=layers, events=events, flush_every=flush_every
+    )
+    install(recorder)
+    try:
+        yield recorder
+    finally:
+        uninstall()
+        recorder.close()

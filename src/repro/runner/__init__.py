@@ -9,7 +9,7 @@ surface (``repro run --parallel N``, ``repro figures --parallel N``).
 
 from .cache import ResultCache, default_cache_root
 from .compare import diff_results, format_diff
-from .executor import RunReport, run_experiment, run_specs
+from .executor import RunReport, run_experiment, run_specs, run_specs_iter
 from .progress import ProgressPrinter, TimingSummary
 from .registry import (
     Experiment,
@@ -40,4 +40,5 @@ __all__ = [
     "resolve_params",
     "run_experiment",
     "run_specs",
+    "run_specs_iter",
 ]

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
+from ..obs import metrics as obs_metrics
 from .cache import ResultCache
-from .executor import run_specs
+from .executor import run_specs_iter
 from .progress import ProgressPrinter, TimingSummary
 from .registry import experiment_names, get_experiment, resolve_params
 
@@ -132,14 +134,34 @@ def main(argv: list[str]) -> int:
             cache.clear()
 
     all_specs = [spec for _, _, specs in plans for spec in specs]
+    collect_metrics = args.metrics_out is not None
     with summary.profiler.phase("execute"):
-        reports = run_specs(
+        # Stream reports in spec order and fold metrics snapshots into one
+        # merged snapshot as they arrive (merge_snapshots is an in-order
+        # left fold, so folding incrementally is identical to merging the
+        # full list) — per-unit snapshots are dropped immediately instead
+        # of riding along until the end of the run.
+        reports = []
+        merged_metrics: dict | None = {} if collect_metrics else None
+        counted: set = set()
+        for r in run_specs_iter(
             all_specs,
             workers=args.parallel,
             cache=cache,
             progress=ProgressPrinter(quiet=args.quiet),
-            collect_metrics=args.metrics_out is not None,
-        )
+            collect_metrics=collect_metrics,
+        ):
+            if collect_metrics and r.metrics is not None:
+                # Duplicate specs fan one report out to several positions;
+                # fold each executed unit's snapshot once, in
+                # first-appearance order.
+                if r.spec not in counted:
+                    counted.add(r.spec)
+                    merged_metrics = obs_metrics.merge_snapshots(
+                        [merged_metrics, r.metrics]
+                    )
+                r = replace(r, metrics=None)
+            reports.append(r)
     summary.add(reports)
 
     with summary.profiler.phase("merge"):
@@ -165,18 +187,7 @@ def main(argv: list[str]) -> int:
         path = summary.write_json(args.timings)
         print(f"timings written to {path}")
     if args.metrics_out:
-        from ..obs import metrics as obs_metrics
-
-        # Duplicate specs fan one report out to several positions; count
-        # each executed unit's snapshot once, in first-appearance order.
-        snaps = []
-        counted = set()
-        for r in reports:
-            if r.metrics is not None and r.spec not in counted:
-                counted.add(r.spec)
-                snaps.append(r.metrics)
-        snap = obs_metrics.merge_snapshots(snaps)
-        path = obs_metrics.write_snapshot(args.metrics_out, snap)
+        path = obs_metrics.write_snapshot(args.metrics_out, merged_metrics)
         print(f"metrics written to {path}")
     return 0
 

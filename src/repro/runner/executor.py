@@ -18,15 +18,16 @@ import functools
 import json
 import multiprocessing
 import time
+from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ..obs import metrics as _metrics
 from .cache import ResultCache
 from .registry import Experiment, get_experiment, resolve_params
 from .spec import RunSpec, canonical_json
 
-__all__ = ["RunReport", "run_specs", "run_experiment"]
+__all__ = ["RunReport", "run_specs", "run_specs_iter", "run_experiment"]
 
 ProgressFn = Callable[["RunReport", int, int], None]
 
@@ -110,8 +111,44 @@ def run_specs(
     results are persisted before returning.  ``collect_metrics`` attaches a
     per-unit metrics snapshot to every report; cached results carry no
     metrics, so cache *reads* are skipped (fresh results still persist).
+
+    This is the batch convenience over :func:`run_specs_iter` — callers
+    that fold results one at a time (``repro run --metrics-out``, the
+    streaming observability plane) should iterate instead of listing.
+    """
+    return list(
+        run_specs_iter(
+            specs,
+            workers=workers,
+            cache=cache,
+            progress=progress,
+            collect_metrics=collect_metrics,
+        )
+    )
+
+
+def run_specs_iter(
+    specs: Sequence[RunSpec],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: ProgressFn | None = None,
+    collect_metrics: bool = False,
+) -> Iterator[RunReport]:
+    """Yield reports **in input-spec order** as they become ready.
+
+    The streamed twin of :func:`run_specs`: identical semantics (duplicate
+    fan-out, cache serving, deterministic order — asserted by
+    ``tests/runner``), but results are handed to the caller the moment
+    their spec-order turn arrives instead of after the whole batch.  Under
+    a worker pool completions arrive unordered, so out-of-turn results
+    wait in a reorder buffer bounded by worker skew — never by the run
+    length — and every result is dropped from the buffer once its last
+    duplicate position has been yielded.  This is the merge hook the
+    venue-scale streaming plane sits on: shard summaries fold into
+    constant-size accumulators while later shards are still running.
     """
     specs = list(specs)
+    remaining = Counter(specs)
     order: list[RunSpec] = []
     seen: set[RunSpec] = set()
     for spec in specs:
@@ -142,6 +179,21 @@ def run_specs(
     else:
         completed = len(done)
 
+    emit_index = 0
+
+    def _ready() -> list[RunReport]:
+        """Reports whose spec-order turn has arrived, oldest first."""
+        nonlocal emit_index
+        out = []
+        while emit_index < len(specs) and specs[emit_index] in done:
+            spec = specs[emit_index]
+            emit_index += 1
+            out.append(done[spec])
+            remaining[spec] -= 1
+            if not remaining[spec]:
+                del done[spec]  # last duplicate emitted; free the buffer
+        return out
+
     def _finish(
         spec: RunSpec,
         result: dict[str, Any],
@@ -163,22 +215,27 @@ def run_specs(
         if progress is not None:
             progress(report, completed, total)
 
+    yield from _ready()
+
     worker_fn = functools.partial(_execute_one, collect_metrics=collect_metrics)
     if workers <= 1 or len(pending) <= 1:
         for spec in pending:
             _, result, elapsed, metrics = worker_fn(spec)
             _finish(spec, result, elapsed, metrics)
+            yield from _ready()
     else:
         ctx = _pool_context()
         with ctx.Pool(processes=min(workers, len(pending))) as pool:
-            # Unordered completion for liveness; results are keyed by spec,
-            # so arrival order never reaches the caller.
+            # Unordered completion for liveness; results are keyed by spec
+            # and released by _ready, so arrival order never reaches the
+            # caller.
             for spec, result, elapsed, metrics in pool.imap_unordered(
                 worker_fn, pending
             ):
                 _finish(spec, result, elapsed, metrics)
+                yield from _ready()
 
-    return [done[spec] for spec in specs]
+    yield from _ready()
 
 
 def run_experiment(

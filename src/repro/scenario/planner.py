@@ -57,23 +57,33 @@ def merge_shard_results(shard_results: list[dict]) -> dict:
 
 
 def venue_summary(rooms: list[dict]) -> dict:
-    """Venue-level aggregates over an ordered room list."""
+    """Venue-level aggregates over an ordered room list.
+
+    Rooms report constant-size ``tick_stats`` folds (exact per-room fps
+    sums and minima) instead of per-tick lists, so the venue aggregates
+    here are sums-of-sums: still a deterministic function of the sorted
+    room list, still independent of shard boundaries, but without any
+    room ever materializing its tick history.
+    """
     total_sessions = sum(room["sessions"] for room in rooms)
     arrivals = sum(room["arrivals"] for room in rooms)
     rejected = sum(room["rejected"] for room in rooms)
     departures = sum(room["departures"] for room in rooms)
     peak = sum(room["peak_active"] for room in rooms)
     airtime = math.fsum(room["total_airtime_s"] for room in rooms)
-    fps_values = [
-        tick["fps"]
-        for room in rooms
-        for tick in room["ticks"]
-        if tick["active"] > 0
-    ]
-    mean_fps = (
-        math.fsum(fps_values) / len(fps_values) if fps_values else None
+    active_ticks = sum(
+        room["tick_stats"]["active_ticks"] for room in rooms
     )
-    worst_fps = min(fps_values) if fps_values else None
+    fps_sum = math.fsum(
+        room["tick_stats"]["fps_sum"] for room in rooms
+    )
+    mean_fps = fps_sum / active_ticks if active_ticks else None
+    minima = [
+        room["tick_stats"]["min_fps"]
+        for room in rooms
+        if room["tick_stats"]["min_fps"] is not None
+    ]
+    worst_fps = min(minima) if minima else None
     return {
         "rooms": len(rooms),
         "sessions": total_sessions,

@@ -26,8 +26,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.similarity import pairwise_iou_matrix
 from ..mac.scheduler import (
     UserDemand,
@@ -38,6 +36,7 @@ from ..mac.scheduler import (
 from ..net import transport as _transport
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..obs.stream import ExactSum
 from ..pointcloud import (
     CellGrid,
     DEFAULT_COMPRESSION,
@@ -68,7 +67,7 @@ _C_ARRIVALS = _metrics.counter(
     help="arrivals admitted into a room (capacity permitting)",
 )
 _C_REJECTED = _metrics.counter(
-    "scenario.users_rejected", unit="users", layer="scenario",
+    "scenario.admission_rejected", unit="users", layer="scenario",
     help="arrivals turned away because the room was at capacity",
 )
 _C_DEPARTURES = _metrics.counter(
@@ -78,6 +77,12 @@ _C_DEPARTURES = _metrics.counter(
 _C_TICKS = _metrics.counter(
     "scenario.room_ticks", unit="ticks", layer="scenario",
     help="per-room delivery evaluation instants processed",
+)
+_G_OCCUPANCY = _metrics.gauge(
+    "scenario.room_occupancy", unit="users", layer="scenario",
+    help="active users in the room currently being simulated (last write "
+         "wins; per-room levels live in the trace's scenario.* events via "
+         "the room/ap correlation fields)",
 )
 
 _EV_ARRIVAL = _trace.event_type(
@@ -224,6 +229,52 @@ class ArchetypeLibrary:
         )
 
 
+class _TickStats:
+    """Constant-size fold of a room's per-tick delivery results.
+
+    The streaming-observability replacement for the per-room tick *list*
+    the engine used to retain: every tick folds into exact sums
+    (:class:`~repro.obs.stream.ExactSum`) the moment it is evaluated, so a
+    room's memory footprint is independent of its duration while the
+    derived aggregates (mean/min fps, total airtime) stay bit-identical
+    across shard counts and to a retained-list fold.
+    """
+
+    __slots__ = (
+        "ticks", "active_ticks", "fps_sum", "min_fps", "airtime",
+        "max_airtime_s",
+    )
+
+    def __init__(self) -> None:
+        self.ticks = 0
+        self.active_ticks = 0
+        self.fps_sum = ExactSum()
+        self.min_fps: float | None = None
+        self.airtime = ExactSum()
+        self.max_airtime_s = 0.0
+
+    def fold(self, active: int, airtime_s: float, fps: float) -> None:
+        """Fold one evaluated tick in (idle ticks count, but not to fps)."""
+        self.ticks += 1
+        self.airtime.add(airtime_s)
+        if airtime_s > self.max_airtime_s:
+            self.max_airtime_s = airtime_s
+        if active > 0:
+            self.active_ticks += 1
+            self.fps_sum.add(fps)
+            if self.min_fps is None or fps < self.min_fps:
+                self.min_fps = fps
+
+    def to_jsonable(self) -> dict:
+        return {
+            "ticks": self.ticks,
+            "active_ticks": self.active_ticks,
+            "fps_sum": self.fps_sum.value(),
+            "min_fps": self.min_fps,
+            "max_airtime_s": self.max_airtime_s,
+        }
+
+
 @dataclass
 class _RoomState:
     """Mutable per-room simulation state the driver process updates."""
@@ -268,7 +319,7 @@ class ShardEngine:
         timeline.sort()
 
         state = _RoomState(active={}, admitted=set())
-        ticks: list[dict] = []
+        stats = _TickStats()
 
         recorder = _trace.active()
         if recorder is not None:
@@ -285,8 +336,8 @@ class ShardEngine:
                     elif kind == DEPART:
                         self._on_departure(state, payload)
                     else:
-                        ticks.append(
-                            self._on_tick(room_index, room, state, payload)
+                        stats.fold(
+                            *self._on_tick(room_index, room, state, payload)
                         )
 
             env.process(driver(env))
@@ -296,7 +347,6 @@ class ShardEngine:
                 recorder.context.pop("room", None)
                 recorder.context.pop("ap", None)
 
-        fps_values = [t["fps"] for t in ticks if t["active"] > 0]
         return {
             "room": room.name,
             "ap": room.ap,
@@ -306,13 +356,13 @@ class ShardEngine:
             "rejected": state.rejected,
             "departures": state.departures,
             "peak_active": state.peak_active,
-            "ticks": ticks,
+            "tick_stats": stats.to_jsonable(),
             "mean_fps": (
-                float(np.mean(fps_values)) if fps_values else venue.target_fps
+                stats.fps_sum.value() / stats.active_ticks
+                if stats.active_ticks
+                else venue.target_fps
             ),
-            "total_airtime_s": float(
-                sum(t["airtime_s"] for t in ticks)
-            ),
+            "total_airtime_s": stats.airtime.value(),
         }
 
     def _on_arrival(self, room, state: _RoomState, session) -> None:
@@ -330,6 +380,7 @@ class ShardEngine:
         state.arrivals += 1
         state.peak_active = max(state.peak_active, len(state.active))
         _C_ARRIVALS.inc()
+        _G_OCCUPANCY.set(len(state.active))
         _EV_ARRIVAL.emit(
             user=session.user_id,
             active=len(state.active),
@@ -342,11 +393,12 @@ class ShardEngine:
         del state.active[user_id]
         state.departures += 1
         _C_DEPARTURES.inc()
+        _G_OCCUPANCY.set(len(state.active))
         _EV_DEPARTURE.emit(user=user_id, active=len(state.active))
 
     def _on_tick(
         self, room_index: int, room, state: _RoomState, tick: int
-    ) -> dict:
+    ) -> tuple[int, float, float]:
         venue = self.venue
         _C_TICKS.inc()
         frame = room_index * FRAME_STRIDE + tick
@@ -356,10 +408,7 @@ class ShardEngine:
                 tick=tick, active=0, groups_planned=0,
                 airtime_s=0.0, fps=venue.target_fps, frame=frame,
             )
-            return {
-                "tick": tick, "t": tick * venue.tick_s, "active": 0,
-                "groups": 0, "airtime_s": 0.0, "fps": venue.target_fps,
-            }
+            return (0, 0.0, venue.target_fps)
 
         cell_bytes, clusters = self.library.tick_content(room.quality, tick)
         rates = CapacityRateProvider(
@@ -467,10 +516,7 @@ class ShardEngine:
                 delivered_users=uids,
                 lost_users=[],
             )
-        return {
-            "tick": tick, "t": tick * venue.tick_s, "active": len(uids),
-            "groups": len(groups), "airtime_s": airtime, "fps": fps,
-        }
+        return (len(uids), airtime, fps)
 
 
 def run_shard(venue: VenueSpec, room_indices: tuple[int, ...]) -> dict:

@@ -35,10 +35,10 @@ def traced_events(tmp_path_factory):
     return load_events(out)
 
 
-def test_segment_catalog_covers_both_layers():
+def test_segment_catalog_covers_all_layers():
     assert set(SEGMENT_ORDER) == set(SEGMENTS)
     layers = {seg.layer for seg in SEGMENTS.values()}
-    assert layers == {"net", "mac"}
+    assert layers == {"net", "mac", "core"}
     for seg in SEGMENTS.values():
         assert seg.help, f"segment {seg.name} needs help text"
 
@@ -119,7 +119,7 @@ def test_untraced_gap_lands_in_unattributed():
 
 def test_analyze_report_counts_and_blame(traced_events):
     report = analyze(traced_events)
-    assert report["schema"] == "repro.obs.analyze/1"
+    assert report["schema"] == "repro.obs.analyze/2"
     frames = report["frames"]
     assert frames["total"] == frames["closed"] + frames["incomplete"]
     assert frames["closed"] == (

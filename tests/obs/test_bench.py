@@ -156,3 +156,66 @@ def test_main_writes_a_point_and_gates_on_compare(tmp_path, monkeypatch, capsys)
 def test_main_rejects_unknown_experiment(tmp_path):
     with pytest.raises(SystemExit, match="unknown experiment"):
         bench_main(["not_an_experiment", "--out-dir", str(tmp_path)])
+
+
+def test_validate_bench_checks_the_stream_rss_section():
+    base = run_bench([], scale="small", use_cache=False)
+    base["stream_rss"] = {
+        "experiment": "venue_scale", "scale": "small",
+        "batch_rss_bytes": 100, "streamed_rss_bytes": 90, "ratio": 0.9,
+    }
+    validate_bench(base)  # complete section: fine
+    base["stream_rss"] = {"experiment": "venue_scale"}
+    with pytest.raises(ValueError, match="stream_rss missing key"):
+        validate_bench(base)
+    base["stream_rss"] = {
+        "experiment": "venue_scale", "scale": "small",
+        "batch_rss_bytes": 0, "streamed_rss_bytes": 90,
+    }
+    with pytest.raises(ValueError, match="must be positive"):
+        validate_bench(base)
+    base["stream_rss"] = [1, 2]
+    with pytest.raises(ValueError, match="must be an object"):
+        validate_bench(base)
+
+
+def test_main_stream_rss_gates_on_tolerance(tmp_path, monkeypatch, capsys):
+    import repro.obs.bench as bench_mod
+
+    measured = {
+        "experiment": "loss_sweep", "scale": "small",
+        "batch_rss_bytes": 100_000_000, "streamed_rss_bytes": 104_000_000,
+        "ratio": 1.04,
+    }
+    monkeypatch.setattr(
+        bench_mod, "run_stream_rss_bench",
+        lambda experiment, scale="small": dict(measured),
+    )
+    # Within tolerance: the point is written and carries the measurement.
+    assert bench_main(
+        ["--stream-rss", "loss_sweep", "--out-dir", str(tmp_path),
+         "--tolerance", "0.05"]
+    ) == 0
+    doc = json.loads((tmp_path / "BENCH_1.json").read_text())
+    assert doc["stream_rss"]["streamed_rss_bytes"] == 104_000_000
+    assert doc["experiments"] == []  # rss-only point
+    # Beyond tolerance: non-zero exit, but the point is still recorded.
+    assert bench_main(
+        ["--stream-rss", "loss_sweep", "--out-dir", str(tmp_path),
+         "--tolerance", "0.01"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "RSS REGRESSION" in out
+    assert (tmp_path / "BENCH_2.json").is_file()
+
+
+@pytest.mark.slow
+def test_stream_rss_bench_measures_real_children():
+    from repro.obs.bench import run_stream_rss_bench
+
+    rss = run_stream_rss_bench("loss_sweep", scale="small")
+    assert rss["batch_rss_bytes"] > 0
+    assert rss["streamed_rss_bytes"] > 0
+    assert rss["ratio"] == pytest.approx(
+        rss["streamed_rss_bytes"] / rss["batch_rss_bytes"], rel=1e-3
+    )

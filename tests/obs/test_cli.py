@@ -179,3 +179,27 @@ def test_run_timings_include_profiler_phases(tmp_path):
     assert {"plan", "execute", "merge"} <= set(payload["phases"])
     for phase in payload["phases"].values():
         assert phase["wall_s"] >= 0.0 and phase["count"] >= 1
+
+
+def test_trace_cli_stream_is_byte_identical(tmp_path):
+    batch = tmp_path / "batch.jsonl"
+    stream = tmp_path / "stream.jsonl"
+    assert trace_main(
+        ["loss_sweep", "--scale", "small", "--out", str(batch), "--quiet"]
+    ) == 0
+    assert trace_main(
+        ["loss_sweep", "--scale", "small", "--out", str(stream), "--quiet",
+         "--stream"]
+    ) == 0
+    assert batch.read_bytes() == stream.read_bytes()
+
+
+def test_trace_cli_stream_composes_with_filters(tmp_path, capsys):
+    batch = tmp_path / "batch.jsonl"
+    stream = tmp_path / "stream.jsonl"
+    args = ["loss_sweep", "--scale", "small", "--quiet", "--layer", "net",
+            "--event", "net.arq_round"]
+    assert trace_main([*args, "--out", str(batch)]) == 0
+    assert trace_main([*args, "--out", str(stream), "--stream"]) == 0
+    assert batch.read_bytes() == stream.read_bytes()
+    assert "filtered out" in capsys.readouterr().out

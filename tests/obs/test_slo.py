@@ -195,5 +195,5 @@ def test_analyze_cli_writes_canonical_json(trace_path, tmp_path, capsys):
     # Determinism acceptance criterion: byte-identical reports across runs.
     assert out_a.read_bytes() == out_b.read_bytes()
     doc = json.loads(out_a.read_text(encoding="utf-8"))
-    assert doc["schema"] == "repro.obs.analyze/1"
+    assert doc["schema"] == "repro.obs.analyze/2"
     assert len(load_events(trace_path)) == doc["num_events"]

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.obs.spans import (
+    iter_events,
     SPAN_TYPES,
     Reconstruction,
     load_events,
@@ -201,3 +202,60 @@ def test_reconstruction_is_deterministic():
     ] == [
         [s.to_jsonable() for s in fs.spans] for fs in b.frames
     ]
+
+
+def test_iter_events_streams_lazily(tmp_path):
+    path = tmp_path / "t.jsonl"
+    records = [_ev(i, "net.unit_tx", frame=i) for i in range(5)]
+    path.write_text(
+        "\n".join(json.dumps(r) for r in records) + "\n", encoding="utf-8"
+    )
+    it = iter_events(path)
+    assert next(it) == records[0]  # pulls one record, not the whole file
+    assert list(it) == records[1:]
+
+
+def test_truncated_trailing_record_is_a_clear_error(tmp_path):
+    # A crash mid-flush leaves a final line with no newline; the reader
+    # must say "truncated", not dump a JSON stack trace.
+    path = tmp_path / "t.jsonl"
+    complete = json.dumps(_ev(0, "net.unit_tx", frame=0))
+    path.write_text(complete + "\n" + '{"t": 1.0, "seq": 1, "la')
+    with pytest.raises(ValueError, match="truncated trace record"):
+        load_events(path)
+    # The complete prefix still streams out before the error surfaces.
+    it = iter_events(path)
+    assert next(it)["seq"] == 0
+    with pytest.raises(ValueError, match="t.jsonl:2"):
+        next(it)
+
+
+def test_partial_jsonl_mid_file_is_not_called_truncated(tmp_path):
+    # Garbage on an interior (newline-terminated) line is corruption, not
+    # a partial write — the error must say so, with the line number.
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"seq": 0}\n{"seq": broken}\n{"seq": 2}\n')
+    with pytest.raises(ValueError, match="t.jsonl:2: not valid JSON"):
+        load_events(path)
+
+
+def test_non_object_record_is_rejected(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"seq": 0}\n[1, 2, 3]\n')
+    with pytest.raises(ValueError, match="expected a JSON object"):
+        load_events(path)
+
+
+def test_reconstruct_of_truncated_trace_cli_errors_cleanly(tmp_path, capsys):
+    # End-to-end satellite check: `repro obs analyze` over a truncated
+    # trace exits with a message, never a traceback.
+    from repro.obs.cli import obs_main
+
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"t": 0.0, "seq": 0, "layer": "net", "event"')
+    with pytest.raises(SystemExit) as err:
+        obs_main(["analyze", str(path), "--quiet"])
+    assert "truncated trace record" in str(err.value)
+    with pytest.raises(SystemExit) as err:
+        obs_main(["analyze", str(path), "--stream", "--quiet"])
+    assert "truncated trace record" in str(err.value)

@@ -7,7 +7,12 @@ import json
 import pytest
 
 from repro.obs import trace
-from repro.obs.trace import TraceRecorder, event_type, recording
+from repro.obs.trace import (
+    TraceRecorder,
+    event_type,
+    recording,
+    streaming_recording,
+)
 from repro.sim import Environment
 
 _EV_TEST = event_type(
@@ -157,3 +162,65 @@ def test_correlation_helper_drops_unset_fields():
     assert trace.CORRELATION_FIELDS == (
         "unit", "room", "ap", "frame", "user", "users"
     )
+
+
+def test_streaming_recorder_writes_byte_identical_jsonl(tmp_path):
+    batch_path = tmp_path / "batch.jsonl"
+    stream_path = tmp_path / "stream.jsonl"
+    with recording() as recorder:
+        recorder.set_context(unit="u")
+        for n in range(10):
+            _EV_TEST.emit(t=n * 0.1, n=n)
+    recorder.write_jsonl(batch_path)
+    with streaming_recording(stream_path, flush_every=3) as srec:
+        srec.set_context(unit="u")
+        for n in range(10):
+            _EV_TEST.emit(t=n * 0.1, n=n)
+    assert batch_path.read_bytes() == stream_path.read_bytes()
+    assert len(srec) == 10 and srec.recorded == 10
+
+
+def test_streaming_recorder_flushes_incrementally(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with streaming_recording(path, flush_every=2):
+        _EV_TEST.emit(t=0.0, n=0)
+        _EV_TEST.emit(t=0.1, n=1)  # hits flush_every: both lines on disk
+        _EV_TEST.emit(t=0.2, n=2)  # pending until close
+        assert len(path.read_text().splitlines()) == 2
+    assert len(path.read_text().splitlines()) == 3
+
+
+def test_streaming_recorder_filters_but_keeps_seq_parity(tmp_path):
+    # Filters drop records at write time but never renumber: the written
+    # seq values match a full recording filtered after the fact.
+    path = tmp_path / "t.jsonl"
+    other = event_type(
+        "test.pong", layer="net", help="test-only event", fields=("n",)
+    )
+    with streaming_recording(path, layers=["net"]) as srec:
+        _EV_TEST.emit(t=0.0, n=0)   # core: filtered out, still seq 0
+        other.emit(t=0.1, n=1)      # net: written with seq 1
+        _EV_TEST.emit(t=0.2, n=2)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["seq"] for r in records] == [1]
+    assert srec.recorded == 3 and len(srec) == 1
+    assert srec.layer_counts() == {"net": 1}
+
+
+def test_streaming_recorder_rejects_batch_only_apis(tmp_path):
+    with streaming_recording(tmp_path / "t.jsonl") as srec:
+        _EV_TEST.emit(t=0.0, n=0)
+        with pytest.raises(TypeError):
+            srec.jsonl_lines()
+        with pytest.raises(TypeError):
+            srec.write_jsonl(tmp_path / "other.jsonl")
+
+
+def test_streaming_recorder_uninstalls_and_closes_on_error(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with pytest.raises(RuntimeError, match="boom"):
+        with streaming_recording(path):
+            _EV_TEST.emit(t=0.0, n=0)
+            raise RuntimeError("boom")
+    assert trace.active() is None
+    assert len(path.read_text().splitlines()) == 1  # pending flushed

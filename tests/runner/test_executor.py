@@ -16,6 +16,7 @@ from repro.runner import (
     register,
     run_experiment,
     run_specs,
+    run_specs_iter,
 )
 from repro.runner.registry import _REGISTRY
 
@@ -131,3 +132,52 @@ def test_run_experiment_resolves_scale_and_merges():
 def test_run_experiment_rejects_unknown_override():
     with pytest.raises(ValueError, match="unknown parameter"):
         run_experiment("toy_double", {"nope": 1})
+
+
+def test_iter_yields_in_spec_order_as_units_finish():
+    # Serial path: each report must be handed over before the next unit
+    # executes — the streamed fold never waits for the whole batch.
+    it = run_specs_iter(_specs(3, 1, 2))
+    first = next(it)
+    assert first.result["doubled"] == 6
+    assert CALLS == [3], "later units must not have run yet"
+    assert [r.result["doubled"] for r in it] == [2, 4]
+
+
+def test_iter_equals_batch_run_specs(tmp_path):
+    # Two identically-warmed caches, so the batch run cannot leak state
+    # into the streamed one.
+    cache_a = ResultCache(root=tmp_path / "a", version="test")
+    cache_b = ResultCache(root=tmp_path / "b", version="test")
+    run_specs(_specs(2), cache=cache_a)
+    run_specs(_specs(2), cache=cache_b)
+    batch = run_specs(_specs(1, 2, 1), cache=cache_a)
+    streamed = list(run_specs_iter(_specs(1, 2, 1), cache=cache_b))
+    assert [(r.spec, r.result, r.cached) for r in streamed] == [
+        (r.spec, r.result, r.cached) for r in batch
+    ]
+
+
+def test_iter_fans_duplicates_out_and_frees_the_buffer():
+    reports = list(run_specs_iter(_specs(5, 5, 1, 5)))
+    assert [r.result["doubled"] for r in reports] == [10, 10, 2, 10]
+    assert CALLS == [5, 1]
+    # All duplicate positions share the single executed report object.
+    assert reports[0] is reports[1] is reports[3]
+
+
+def test_iter_parallel_pool_preserves_order():
+    streamed = list(run_specs_iter(_specs(4, 3, 2, 1), workers=2))
+    assert [r.result["doubled"] for r in streamed] == [8, 6, 4, 2]
+
+
+def test_iter_progress_matches_batch(tmp_path):
+    cache = ResultCache(root=tmp_path, version="test")
+    run_specs(_specs(1), cache=cache)
+    seen: list[tuple[int, int, bool]] = []
+
+    def progress(report, completed, total):
+        seen.append((completed, total, report.cached))
+
+    list(run_specs_iter(_specs(1, 2), cache=cache, progress=progress))
+    assert seen == [(1, 2, True), (2, 2, False)]

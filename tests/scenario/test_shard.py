@@ -68,9 +68,10 @@ def test_empty_room_ticks_at_target_fps_with_zero_airtime():
     )
     (room,) = run_shard(venue, (0,))["rooms"]
     assert room["sessions"] == 0
-    assert len(room["ticks"]) == venue.num_ticks
-    assert all(t["active"] == 0 for t in room["ticks"])
-    assert all(t["fps"] == venue.target_fps for t in room["ticks"])
+    stats = room["tick_stats"]
+    assert stats["ticks"] == venue.num_ticks
+    assert stats["active_ticks"] == 0
+    assert stats["min_fps"] is None
     assert room["total_airtime_s"] == 0.0
     assert room["mean_fps"] == venue.target_fps
 
@@ -78,11 +79,12 @@ def test_empty_room_ticks_at_target_fps_with_zero_airtime():
 def test_occupied_room_reports_positive_airtime_and_bounded_fps():
     venue = _venue(num_rooms=1)
     (room,) = run_shard(venue, (0,))["rooms"]
-    busy = [t for t in room["ticks"] if t["active"] > 0]
-    assert busy, "seeded venue should have occupied ticks"
-    for tick in busy:
-        assert tick["airtime_s"] > 0.0
-        assert 0.0 < tick["fps"] <= venue.target_fps
+    stats = room["tick_stats"]
+    assert stats["active_ticks"] > 0, "seeded venue should have occupied ticks"
+    assert room["total_airtime_s"] > 0.0
+    assert stats["max_airtime_s"] > 0.0
+    assert 0.0 < stats["min_fps"] <= venue.target_fps
+    assert 0.0 < room["mean_fps"] <= venue.target_fps
 
 
 def test_run_shard_rejects_empty_shard():
@@ -102,8 +104,8 @@ def test_venue_summary_over_no_occupied_ticks():
         {
             "room": "room0", "ap": "ap0", "room_index": 0, "sessions": 0,
             "arrivals": 0, "rejected": 0, "departures": 0, "peak_active": 0,
-            "ticks": [{"tick": 0, "t": 0.0, "active": 0, "groups": 0,
-                       "airtime_s": 0.0, "fps": 30.0}],
+            "tick_stats": {"ticks": 1, "active_ticks": 0, "fps_sum": 0.0,
+                           "min_fps": None, "max_airtime_s": 0.0},
             "mean_fps": 30.0, "total_airtime_s": 0.0,
         }
     ]
